@@ -1,0 +1,143 @@
+// Command analytics runs one of the repository's graph analytics on a
+// graph file — PageRank's siblings from the paper's §1 motivation and
+// §6 future-work list.
+//
+// Usage:
+//
+//	analytics -i graph.bin -algo bfs -src 0
+//	analytics -i graph.bin -algo cc
+//	analytics -i graph.bin -algo sssp -src 5
+//	analytics -i graph.bin -algo triangles
+//	analytics -i graph.bin -algo hits -iters 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"ihtl/internal/analytics"
+	"ihtl/internal/graph"
+	"ihtl/internal/sched"
+	"ihtl/internal/spmv"
+)
+
+func main() {
+	var (
+		in      = flag.String("i", "", "input graph file")
+		algo    = flag.String("algo", "bfs", "algorithm: bfs | cc | sssp | triangles | hits | kcore")
+		src     = flag.Uint("src", 0, "source vertex for bfs/sssp")
+		iters   = flag.Int("iters", 30, "max iterations for hits")
+		workers = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("missing -i"))
+	}
+	g, err := graph.LoadFileAuto(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if *algo == "bfs" || *algo == "sssp" {
+		if int(*src) >= g.NumV {
+			fatal(fmt.Errorf("source %d out of range [0,%d)", *src, g.NumV))
+		}
+	}
+	pool := sched.NewPool(*workers)
+	defer pool.Close()
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumV, g.NumE)
+
+	start := time.Now()
+	switch *algo {
+	case "bfs":
+		dist := analytics.BFS(g, pool, graph.VID(*src))
+		reportDistances("hops", dist, start)
+	case "sssp":
+		dist := analytics.SSSP(g, pool, graph.VID(*src))
+		reportDistances("weighted distance", dist, start)
+	case "cc":
+		cc := analytics.ConnectedComponents(g, pool)
+		elapsed := time.Since(start)
+		sizes := map[graph.VID]int{}
+		for _, l := range cc {
+			sizes[l]++
+		}
+		largest := 0
+		for _, s := range sizes {
+			if s > largest {
+				largest = s
+			}
+		}
+		fmt.Printf("connected components: %d (largest %d vertices, %.1f%%) in %.1f ms\n",
+			len(sizes), largest, 100*float64(largest)/float64(g.NumV), elapsed.Seconds()*1000)
+	case "triangles":
+		count := analytics.TriangleCount(g, pool)
+		fmt.Printf("triangles: %d in %.1f ms\n", count, time.Since(start).Seconds()*1000)
+	case "kcore":
+		cores := analytics.CoreNumbers(g)
+		k, v := analytics.MaxCore(cores)
+		fmt.Printf("degeneracy %d (vertex %d) in %.1f ms\n", k, v, time.Since(start).Seconds()*1000)
+	case "hits":
+		fwd, err := spmv.NewEngine(g, pool, spmv.Pull, spmv.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		rev, err := spmv.NewEngine(g.Transpose(), pool, spmv.Pull, spmv.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		res, err := analytics.RunHITS(fwd, rev, analytics.HITSOptions{MaxIters: *iters})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("HITS converged in %d iterations (%.1f ms)\n",
+			res.Iters, time.Since(start).Seconds()*1000)
+		printTop("authorities", res.Authority, 5)
+		printTop("hubs", res.Hub, 5)
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+}
+
+func reportDistances(metric string, dist []int64, start time.Time) {
+	elapsed := time.Since(start)
+	reached := 0
+	var max int64
+	for _, d := range dist {
+		if d != analytics.InfDist {
+			reached++
+			if d > max {
+				max = d
+			}
+		}
+	}
+	fmt.Printf("reached %d/%d vertices, max %s %d, in %.1f ms\n",
+		reached, len(dist), metric, max, elapsed.Seconds()*1000)
+}
+
+func printTop(label string, scores []float64, k int) {
+	type sv struct {
+		v graph.VID
+		s float64
+	}
+	all := make([]sv, len(scores))
+	for v, s := range scores {
+		all[v] = sv{graph.VID(v), s}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].s > all[j].s })
+	if k > len(all) {
+		k = len(all)
+	}
+	fmt.Printf("top %s:", label)
+	for i := 0; i < k; i++ {
+		fmt.Printf(" %d(%.3f)", all[i].v, all[i].s)
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "analytics:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command graphgen generates a synthetic graph and writes it in the
+// repository's binary format.
+//
+// Usage:
+//
+//	graphgen -kind rmat -scale 18 -ef 16 -seed 42 -o social.bin
+//	graphgen -kind web -n 100000 -seed 7 -o web.bin
+//	graphgen -kind er -n 100000 -m 1000000 -o control.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ihtl/internal/gen"
+	"ihtl/internal/graph"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "rmat", "generator: rmat | web | er | pa")
+		scale    = flag.Int("scale", 16, "rmat: log2 vertex count")
+		ef       = flag.Int("ef", 16, "rmat: edges per vertex")
+		n        = flag.Int("n", 100000, "web/er/pa: vertex count")
+		m        = flag.Int("m", 1000000, "er: edge count")
+		k        = flag.Int("k", 8, "pa: edges per new vertex")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		out      = flag.String("o", "graph.bin", "output path")
+		compress = flag.Bool("compress", false, "write the delta-varint compressed format")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	switch *kind {
+	case "rmat":
+		g, err = gen.RMAT(gen.DefaultRMAT(*scale, *ef, *seed))
+	case "web":
+		g, err = gen.Web(gen.DefaultWeb(*n, *seed))
+	case "er":
+		g, err = gen.ErdosRenyi(*n, *m, *seed)
+	case "pa":
+		g, err = gen.PreferentialAttachment(*n, *k, *seed)
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *compress {
+		err = g.SaveFileCompressed(*out)
+	} else {
+		err = g.SaveFile(*out)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d vertices, %d edges\n", *out, g.NumV, g.NumE)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+package ihtl_test
+
+import (
+	"fmt"
+
+	"ihtl"
+)
+
+// ExampleNewEngine demonstrates the core workflow on the paper's
+// worked example graph (Figure 2a): build the iHTL structure and
+// inspect how it classified the vertices.
+func ExampleNewEngine() {
+	// The paper's 8-vertex example: in-hubs #3 and #7 (0-indexed 2
+	// and 6) receive most edges.
+	edges := []ihtl.Edge{
+		{Src: 0, Dst: 1},
+		{Src: 1, Dst: 2}, {Src: 1, Dst: 6},
+		{Src: 2, Dst: 6},
+		{Src: 3, Dst: 4},
+		{Src: 4, Dst: 2}, {Src: 4, Dst: 6},
+		{Src: 5, Dst: 2}, {Src: 5, Dst: 6}, {Src: 5, Dst: 4}, {Src: 5, Dst: 7},
+		{Src: 6, Dst: 2}, {Src: 6, Dst: 0},
+		{Src: 7, Dst: 2},
+	}
+	g, err := ihtl.BuildGraph(8, edges)
+	if err != nil {
+		panic(err)
+	}
+	pool := ihtl.NewPool(2)
+	defer pool.Close()
+
+	eng, err := ihtl.NewEngine(g, pool, ihtl.Params{HubsPerBlock: 2})
+	if err != nil {
+		panic(err)
+	}
+	ih := eng.IHTL()
+	fmt.Printf("hubs=%d VWEH=%d FV=%d blocks=%d\n",
+		ih.NumHubs, ih.NumVWEH, ih.NumFV, len(ih.Blocks))
+	fmt.Printf("flipped edges=%d sparse edges=%d\n",
+		ih.FlippedEdges(), ih.Sparse.NumEdges())
+	// Output:
+	// hubs=2 VWEH=4 FV=2 blocks=1
+	// flipped edges=9 sparse edges=5
+}
+
+// ExamplePageRank runs PageRank over the iHTL engine on a small ring
+// where every vertex must end with the same rank.
+func ExamplePageRank() {
+	g, err := ihtl.BuildGraph(4, []ihtl.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0},
+	})
+	if err != nil {
+		panic(err)
+	}
+	pool := ihtl.NewPool(2)
+	defer pool.Close()
+	eng, err := ihtl.NewEngine(g, pool, ihtl.Params{HubsPerBlock: 2})
+	if err != nil {
+		panic(err)
+	}
+	ranks, err := ihtl.PageRank(eng, pool, ihtl.PageRankOptions{MaxIters: 50})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("uniform=%v\n", ranks[0] == ranks[1] && ranks[1] == ranks[2] && ranks[2] == ranks[3])
+	// Output:
+	// uniform=true
+}
+
+// ExampleShortestPaths computes weighted shortest paths through the
+// iHTL engine's min-plus semiring form.
+func ExampleShortestPaths() {
+	g, err := ihtl.BuildGraph(4, []ihtl.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 3},
+	})
+	if err != nil {
+		panic(err)
+	}
+	pool := ihtl.NewPool(2)
+	defer pool.Close()
+	weight := func(u, v ihtl.VID) int64 {
+		if u == 0 && v == 2 {
+			return 10 // the long way round
+		}
+		return 1
+	}
+	dist, err := ihtl.ShortestPaths(g, pool, ihtl.Params{HubsPerBlock: 2}, 0, weight)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(dist)
+	// Output:
+	// [0 1 10 2]
+}

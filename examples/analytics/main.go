@@ -1,0 +1,90 @@
+// Analytics: the §6 future-work applications on one graph — BFS,
+// connected components, SSSP and triangle counting share the same
+// substrates (graph, scheduler) as the iHTL SpMV engine; PageRank and
+// HITS run over the engines themselves.
+//
+//	go run ./examples/analytics
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ihtl"
+	"ihtl/internal/analytics"
+	"ihtl/internal/sched"
+)
+
+func main() {
+	g, err := ihtl.GenerateRMAT(15, 12, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges\n\n", g.NumV, g.NumE)
+
+	pool := sched.NewPool(0)
+	defer pool.Close()
+
+	timed := func(name string, fn func() string) {
+		start := time.Now()
+		result := fn()
+		fmt.Printf("%-22s %10.1f ms   %s\n", name, time.Since(start).Seconds()*1000, result)
+	}
+
+	timed("BFS from 0", func() string {
+		dist := analytics.BFS(g, pool, 0)
+		reached, max := 0, int64(0)
+		for _, d := range dist {
+			if d != analytics.InfDist {
+				reached++
+				if d > max {
+					max = d
+				}
+			}
+		}
+		return fmt.Sprintf("reached %d vertices, diameter >= %d", reached, max)
+	})
+
+	timed("connected components", func() string {
+		cc := analytics.ConnectedComponents(g, pool)
+		labels := map[ihtl.VID]bool{}
+		for _, l := range cc {
+			labels[l] = true
+		}
+		return fmt.Sprintf("%d components", len(labels))
+	})
+
+	timed("SSSP from 0", func() string {
+		dist := analytics.SSSP(g, pool, 0)
+		var max int64
+		for _, d := range dist {
+			if d != analytics.InfDist && d > max {
+				max = d
+			}
+		}
+		return fmt.Sprintf("max weighted distance %d", max)
+	})
+
+	timed("triangle count", func() string {
+		return fmt.Sprintf("%d triangles", analytics.TriangleCount(g, pool))
+	})
+
+	timed("PageRank (iHTL)", func() string {
+		eng, err := ihtl.NewEngine(g, pool, ihtl.Params{HubsPerBlock: 2048})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ranks, err := ihtl.PageRank(eng, pool, ihtl.PageRankOptions{MaxIters: 20})
+		if err != nil {
+			log.Fatal(err)
+		}
+		best, bestV := 0.0, ihtl.VID(0)
+		for v, r := range ranks {
+			if r > best {
+				best, bestV = r, ihtl.VID(v)
+			}
+		}
+		return fmt.Sprintf("top vertex %d (rank %.2e)", bestV, best)
+	})
+}

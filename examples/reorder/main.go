@@ -1,0 +1,66 @@
+// Reorder reproduces the paper's Figure 8 trade-off on one graph:
+// locality-optimizing relabeling algorithms (SlashBurn, GOrder,
+// Rabbit-Order) improve pull traversal but cost orders of magnitude
+// more preprocessing than iHTL — and iHTL's traversal is still
+// faster, because relabeling cannot fix hub locality.
+//
+//	go run ./examples/reorder
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ihtl"
+)
+
+func main() {
+	g, err := ihtl.GenerateRMAT(14, 12, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges\n\n", g.NumV, g.NumE)
+
+	pool := ihtl.NewPool(0)
+	defer pool.Close()
+	opt := ihtl.PageRankOptions{MaxIters: 10, Tol: -1}
+
+	measure := func(name string, pre time.Duration, g2 *ihtl.Graph) {
+		eng, err := ihtl.NewBaselineEngine(g2, pool, ihtl.Pull)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := ihtl.PageRankBaseline(g2, eng, pool, opt); err != nil {
+			log.Fatal(err)
+		}
+		iter := time.Since(start) / time.Duration(opt.MaxIters)
+		fmt.Printf("%-22s preprocess %10.1f ms    pull iteration %8.3f ms\n",
+			name, pre.Seconds()*1000, iter.Seconds()*1000)
+	}
+
+	measure("original order", 0, g)
+	for _, alg := range []ihtl.ReorderAlgorithm{ihtl.ReorderDegree, ihtl.ReorderSlashBurn, ihtl.ReorderGOrder, ihtl.ReorderRabbit} {
+		start := time.Now()
+		rg, _, err := ihtl.Reorder(g, alg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		measure(string(alg)+" + pull", time.Since(start), rg)
+	}
+
+	start := time.Now()
+	eng, err := ihtl.NewEngine(g, pool, ihtl.Params{HubsPerBlock: 4096})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pre := time.Since(start)
+	runStart := time.Now()
+	if _, err := ihtl.PageRank(eng, pool, opt); err != nil {
+		log.Fatal(err)
+	}
+	iter := time.Since(runStart) / time.Duration(opt.MaxIters)
+	fmt.Printf("%-22s preprocess %10.1f ms    iHTL iteration %8.3f ms\n",
+		"iHTL", pre.Seconds()*1000, iter.Seconds()*1000)
+}

@@ -1,0 +1,57 @@
+// Webcache reproduces the paper's Figure 1 story on a web-like graph:
+// the LLC miss rate of pull traversal conditional on vertex in-degree
+// climbs steeply for hubs, and iHTL flattens it by flipping hub
+// in-edges to push direction.
+//
+//	go run ./examples/webcache
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ihtl"
+)
+
+func main() {
+	g, err := ihtl.GenerateWeb(120_000, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := ihtl.SummarizeInDegrees(g)
+	fmt.Printf("web graph: %d vertices, %d edges, max in-degree %d (hub asymmetricity %.2f)\n\n",
+		g.NumV, g.NumE, sum.Max, ihtl.HubAsymmetricity(g, 100))
+
+	// Scale the paper's Xeon geometry down 32x so this ~100k-vertex
+	// graph stands in the same cache:data regime as the paper's
+	// multi-billion-edge graphs on the real machine.
+	cfg := ihtl.ScaledCacheConfig(32)
+
+	_, pullBuckets := ihtl.SimulatePullLocality(g, cfg)
+	_, ihtlBuckets, err := ihtl.SimulateIHTLLocality(g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("LLC miss rate by vertex in-degree (Figure 1):")
+	fmt.Printf("%-18s %12s %12s\n", "in-degree", "pull", "iHTL")
+	n := len(pullBuckets)
+	if len(ihtlBuckets) > n {
+		n = len(ihtlBuckets)
+	}
+	for b := 0; b < n; b++ {
+		var pull, ih string
+		if b < len(pullBuckets) && pullBuckets[b].Vertices > 0 {
+			pull = fmt.Sprintf("%.3f", pullBuckets[b].MissRate())
+		}
+		if b < len(ihtlBuckets) && ihtlBuckets[b].Vertices > 0 {
+			ih = fmt.Sprintf("%.3f", ihtlBuckets[b].MissRate())
+		}
+		if pull == "" && ih == "" {
+			continue
+		}
+		lo := 1 << uint(b)
+		fmt.Printf("[%7d,%7d) %12s %12s\n", lo, lo*2, pull, ih)
+	}
+	fmt.Println("\npull thrashes on hubs (bottom rows); iHTL keeps hub accesses cache-resident.")
+}

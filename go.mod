@@ -1,0 +1,3 @@
+module ihtl
+
+go 1.22

@@ -1,0 +1,86 @@
+package ihtl_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"ihtl"
+)
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	g, err := ihtl.GenerateRMAT(10, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := ihtl.NewPool(4)
+	defer pool.Close()
+
+	eng, err := ihtl.NewEngine(g, pool, ihtl.Params{HubsPerBlock: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks, err := ihtl.PageRank(eng, pool, ihtl.PageRankOptions{MaxIters: 10, Tol: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) != g.NumV {
+		t.Fatalf("ranks length %d, want %d", len(ranks), g.NumV)
+	}
+
+	// The baseline pull engine must agree exactly.
+	pull, err := ihtl.NewBaselineEngine(g, pool, ihtl.Pull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ihtl.PageRankBaseline(g, pull, pool, ihtl.PageRankOptions{MaxIters: 10, Tol: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range ranks {
+		if math.Abs(ranks[v]-ref[v]) > 1e-12 {
+			t.Fatalf("iHTL and pull PageRank disagree at %d: %g vs %g", v, ranks[v], ref[v])
+		}
+	}
+
+	// Engine introspection.
+	ih := eng.IHTL()
+	if ih.NumHubs <= 0 || len(ih.Blocks) == 0 {
+		t.Fatal("RMAT graph should produce hubs and flipped blocks")
+	}
+	if eng.Graph() != g {
+		t.Fatal("Graph accessor broken")
+	}
+}
+
+func TestPublicAPIBuildAndSave(t *testing.T) {
+	g, err := ihtl.BuildGraph(4, []ihtl.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := g.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ihtl.LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumV != g.NumV || g2.NumE != g.NumE {
+		t.Fatal("load changed graph")
+	}
+}
+
+func TestPublicAPIWebGenerator(t *testing.T) {
+	g, err := ihtl.GenerateWeb(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxIn, _ := g.MaxInDegree()
+	maxOut, _ := g.MaxOutDegree()
+	if maxIn <= maxOut {
+		t.Fatalf("web graph should have asymmetric hubs: in=%d out=%d", maxIn, maxOut)
+	}
+}

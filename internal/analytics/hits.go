@@ -1,0 +1,91 @@
+package analytics
+
+import (
+	"fmt"
+	"math"
+
+	"ihtl/internal/spmv"
+)
+
+// HITSOptions configures RunHITS.
+type HITSOptions struct {
+	// MaxIters bounds iteration count; 0 selects 50.
+	MaxIters int
+	// Tol stops when both score vectors' L1 deltas fall below it;
+	// 0 selects 1e-9.
+	Tol float64
+}
+
+// HITSResult carries the converged authority and hub scores.
+type HITSResult struct {
+	Authority []float64
+	Hub       []float64
+	Iters     int
+}
+
+// RunHITS computes Kleinberg's Hyperlink-Induced Topic Search — one
+// of the pull-underpinned analytics motivating the paper (§1, [20]).
+// It needs two SpMV engines over the same vertex set: fwd computes
+// a(v) = Σ_{u→v} h(u) (in-neighbour sums, the usual Stepper), and rev
+// computes h(v) = Σ_{v→u} a(u), i.e. a Stepper built on the
+// transposed graph.
+func RunHITS(fwd, rev spmv.Stepper, opt HITSOptions) (HITSResult, error) {
+	n := fwd.NumVertices()
+	if rev.NumVertices() != n {
+		return HITSResult{}, fmt.Errorf("analytics: engine vertex counts differ: %d vs %d", n, rev.NumVertices())
+	}
+	if opt.MaxIters == 0 {
+		opt.MaxIters = 50
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-9
+	}
+	auth := make([]float64, n)
+	hub := make([]float64, n)
+	newAuth := make([]float64, n)
+	newHub := make([]float64, n)
+	for v := range hub {
+		hub[v] = 1
+		auth[v] = 1
+	}
+	res := HITSResult{Authority: auth, Hub: hub}
+	if n == 0 {
+		return res, nil
+	}
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		fwd.Step(hub, newAuth) // a = Aᵀ h
+		normalize(newAuth)
+		rev.Step(newAuth, newHub) // h = A a
+		normalize(newHub)
+		delta := l1Delta(auth, newAuth) + l1Delta(hub, newHub)
+		copy(auth, newAuth)
+		copy(hub, newHub)
+		res.Iters = iter + 1
+		if delta < opt.Tol {
+			break
+		}
+	}
+	return res, nil
+}
+
+func normalize(v []float64) {
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= norm
+	}
+}
+
+func l1Delta(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d
+}

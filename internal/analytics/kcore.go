@@ -1,0 +1,94 @@
+package analytics
+
+import (
+	"ihtl/internal/graph"
+)
+
+// CoreNumbers computes the k-core decomposition of the undirected
+// view of g with the O(V+E) bucket-peeling algorithm of Batagelj &
+// Zaveršnik: repeatedly remove a minimum-degree vertex; a vertex's
+// core number is its degree at removal time (which never increases
+// afterwards). Core numbers are the degree-structure complement of
+// the paper's hub analysis — hubs sit in deep cores, the FV fringe in
+// shallow ones — and peeling is the engine behind SlashBurn-style
+// orderings.
+//
+// Parallel edges in the undirected view (an edge present in both
+// directions) are counted once per direction, consistent with
+// Graph.Degree.
+func CoreNumbers(g *graph.Graph) []int {
+	n := g.NumV
+	if n == 0 {
+		return nil
+	}
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(graph.VID(v))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// bin[d] = index in vert of the first vertex with degree d.
+	bin := make([]int, maxDeg+1)
+	for _, d := range deg {
+		bin[d]++
+	}
+	start := 0
+	for d := 0; d <= maxDeg; d++ {
+		count := bin[d]
+		bin[d] = start
+		start += count
+	}
+	pos := make([]int, n)
+	vert := make([]int, n)
+	for v := 0; v < n; v++ {
+		pos[v] = bin[deg[v]]
+		vert[pos[v]] = v
+		bin[deg[v]]++
+	}
+	for d := maxDeg; d > 0; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+
+	core := make([]int, n)
+	copy(core, deg)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		decrease := func(u int) {
+			if core[u] <= core[v] {
+				return
+			}
+			du := core[u]
+			pu := pos[u]
+			pw := bin[du]
+			w := vert[pw]
+			if u != w {
+				pos[u], pos[w] = pw, pu
+				vert[pu], vert[pw] = w, u
+			}
+			bin[du]++
+			core[u]--
+		}
+		for _, u := range g.Out(graph.VID(v)) {
+			decrease(int(u))
+		}
+		for _, u := range g.In(graph.VID(v)) {
+			decrease(int(u))
+		}
+	}
+	return core
+}
+
+// MaxCore returns the maximum core number (the graph's degeneracy
+// under the directed-degree convention above) and one vertex
+// attaining it.
+func MaxCore(core []int) (k int, v graph.VID) {
+	for u, c := range core {
+		if c > k {
+			k, v = c, graph.VID(u)
+		}
+	}
+	return k, v
+}

@@ -1,0 +1,196 @@
+package analytics
+
+import (
+	"math"
+	"sync/atomic"
+
+	"ihtl/internal/graph"
+	"ihtl/internal/sched"
+	"ihtl/internal/xrand"
+)
+
+// These analytics are the §6 future-work applications ("the idea that
+// irregular datasets require irregular traversals ... can be useful
+// for ... Single Source Shortest Path, and Connected Components").
+// They run directly on the graph substrate with the shared pool.
+
+// InfDist marks unreachable vertices in BFS/SSSP results.
+const InfDist = int64(math.MaxInt64)
+
+// BFS computes hop distances from src over out-edges using a
+// level-synchronous frontier with the direction-optimizing switch of
+// Beamer et al. (§5.2 reference [3]): sparse frontiers expand top-down
+// (push), dense frontiers bottom-up (pull) — the whole-frontier analog
+// of the per-vertex hybrid iHTL applies to SpMV.
+func BFS(g *graph.Graph, pool *sched.Pool, src graph.VID) []int64 {
+	n := g.NumV
+	dist := make([]int64, n)
+	for v := range dist {
+		dist[v] = InfDist
+	}
+	if n == 0 {
+		return dist
+	}
+	distAtomic := make([]atomic.Int64, n)
+	for v := range distAtomic {
+		distAtomic[v].Store(InfDist)
+	}
+	distAtomic[src].Store(0)
+	frontier := []graph.VID{src}
+	level := int64(0)
+
+	for len(frontier) > 0 {
+		level++
+		// Direction switch: bottom-up when the frontier's edges are a
+		// large fraction of the graph (Beamer's alpha heuristic,
+		// simplified to frontier size > |V|/20).
+		if len(frontier) > n/20 {
+			next := make([]graph.VID, 0, len(frontier))
+			inFrontier := make([]bool, n)
+			for _, v := range frontier {
+				inFrontier[v] = true
+			}
+			chunks := make([][]graph.VID, pool.Workers())
+			pool.ForStatic(n, func(w, lo, hi int) {
+				for v := lo; v < hi; v++ {
+					if distAtomic[v].Load() != InfDist {
+						continue
+					}
+					for _, u := range g.In(graph.VID(v)) {
+						if inFrontier[u] {
+							distAtomic[v].Store(level)
+							chunks[w] = append(chunks[w], graph.VID(v))
+							break
+						}
+					}
+				}
+			})
+			for _, c := range chunks {
+				next = append(next, c...)
+			}
+			frontier = next
+			continue
+		}
+		// Top-down: push from the frontier with CAS claims.
+		chunks := make([][]graph.VID, pool.Workers())
+		pool.ForDynamic(len(frontier), 64, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := frontier[i]
+				for _, u := range g.Out(v) {
+					if distAtomic[u].CompareAndSwap(InfDist, level) {
+						chunks[w] = append(chunks[w], u)
+					}
+				}
+			}
+		})
+		next := frontier[:0]
+		for _, c := range chunks {
+			next = append(next, c...)
+		}
+		frontier = next
+	}
+	for v := range dist {
+		dist[v] = distAtomic[v].Load()
+	}
+	return dist
+}
+
+// ConnectedComponents labels weakly connected components by parallel
+// label propagation: every vertex repeatedly adopts the minimum label
+// among itself and its in/out-neighbours until a fixpoint. The result
+// maps each vertex to the smallest vertex ID in its component.
+func ConnectedComponents(g *graph.Graph, pool *sched.Pool) []graph.VID {
+	n := g.NumV
+	label := make([]atomic.Uint32, n)
+	for v := range label {
+		label[v].Store(uint32(v))
+	}
+	for {
+		var changed atomic.Bool
+		pool.ForDynamic(n, 256, func(w, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				m := label[v].Load()
+				for _, u := range g.Out(graph.VID(v)) {
+					if l := label[u].Load(); l < m {
+						m = l
+					}
+				}
+				for _, u := range g.In(graph.VID(v)) {
+					if l := label[u].Load(); l < m {
+						m = l
+					}
+				}
+				// Lower our own label and push it to neighbours;
+				// monotone decrease guarantees termination.
+				if m < label[v].Load() {
+					label[v].Store(m)
+					changed.Store(true)
+				}
+			}
+		})
+		if !changed.Load() {
+			break
+		}
+	}
+	out := make([]graph.VID, n)
+	for v := range out {
+		out[v] = graph.VID(label[v].Load())
+	}
+	return out
+}
+
+// EdgeWeight returns the deterministic pseudo-weight of edge (u,v)
+// in [1, 256], derived by hashing the endpoint pair. The graph
+// substrate stores no weights (the paper's datasets are unweighted);
+// SSSP needs some, and hashing keeps them reproducible without
+// storing per-edge data.
+func EdgeWeight(u, v graph.VID) int64 {
+	return int64(xrand.Mix64(uint64(u)<<32|uint64(v))%256) + 1
+}
+
+// SSSP computes single-source shortest paths over EdgeWeight-weighted
+// out-edges with parallel Bellman-Ford (round-synchronous relaxation
+// until no distance changes).
+func SSSP(g *graph.Graph, pool *sched.Pool, src graph.VID) []int64 {
+	n := g.NumV
+	dist := make([]atomic.Int64, n)
+	for v := range dist {
+		dist[v].Store(InfDist)
+	}
+	if n == 0 {
+		return nil
+	}
+	dist[src].Store(0)
+	for round := 0; round < n; round++ {
+		var changed atomic.Bool
+		pool.ForDynamic(n, 256, func(w, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				dv := dist[v].Load()
+				if dv == InfDist {
+					continue
+				}
+				for _, u := range g.Out(graph.VID(v)) {
+					nd := dv + EdgeWeight(graph.VID(v), u)
+					for {
+						cur := dist[u].Load()
+						if cur <= nd {
+							break
+						}
+						if dist[u].CompareAndSwap(cur, nd) {
+							changed.Store(true)
+							break
+						}
+					}
+				}
+			}
+		})
+		if !changed.Load() {
+			break
+		}
+	}
+	out := make([]int64, n)
+	for v := range out {
+		out[v] = dist[v].Load()
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+
+	"ihtl/internal/core"
+	"ihtl/internal/graph"
+	"ihtl/internal/order"
+	"ihtl/internal/spmv"
+)
+
+// Fig1Series is one curve of Figure 1: LLC miss rate conditional on
+// vertex in-degree, for one traversal configuration.
+type Fig1Series struct {
+	Name    string
+	Buckets []spmv.DegreeMissBucket
+	Skipped bool
+}
+
+// Fig1Result carries all series for a dataset.
+type Fig1Result struct {
+	Dataset string
+	Series  []Fig1Series
+}
+
+// RunFig1 simulates pull traversal on the original and relabeled
+// graphs and the iHTL traversal, attributing LLC misses to in-degree
+// buckets. gorderCap bounds GOrder's input size as in Fig 8.
+func RunFig1(env *Env, name string, g *graph.Graph, gorderCap int64) (Fig1Result, error) {
+	res := Fig1Result{Dataset: name}
+
+	_, base := spmv.SimulatePull(g, env.CacheCfg, true)
+	res.Series = append(res.Series, Fig1Series{Name: "original pull", Buckets: base})
+
+	for _, alg := range Fig8Algorithms() {
+		if _, isGOrder := alg.(order.GOrder); isGOrder && g.NumE > gorderCap {
+			res.Series = append(res.Series, Fig1Series{Name: alg.Name() + " pull", Skipped: true})
+			continue
+		}
+		perm := alg.Permutation(g)
+		rg, err := graph.Relabel(g, perm)
+		if err != nil {
+			return res, err
+		}
+		_, buckets := spmv.SimulatePull(rg, env.CacheCfg, true)
+		res.Series = append(res.Series, Fig1Series{Name: alg.Name() + " pull", Buckets: buckets})
+	}
+
+	ih, err := core.Build(g, core.Params{CacheBytes: env.CacheCfg.Levels[1].SizeBytes})
+	if err != nil {
+		return res, err
+	}
+	_, ibuckets := core.SimulateStep(ih, g, env.CacheCfg, true)
+	res.Series = append(res.Series, Fig1Series{Name: "iHTL", Buckets: ibuckets})
+	return res, nil
+}
+
+// RenderFig1 prints the per-degree miss-rate matrix: one row per
+// degree bucket, one column per series.
+func RenderFig1(env *Env, results []Fig1Result) {
+	for _, res := range results {
+		header := []string{"in-degree"}
+		maxLen := 0
+		for _, s := range res.Series {
+			header = append(header, s.Name)
+			if len(s.Buckets) > maxLen {
+				maxLen = len(s.Buckets)
+			}
+		}
+		t := &Table{
+			Title:  fmt.Sprintf("Figure 1 (%s): LLC miss rate by vertex in-degree", res.Dataset),
+			Header: header,
+		}
+		for b := 0; b < maxLen; b++ {
+			lo := 1 << uint(b)
+			cells := []any{fmt.Sprintf("[%d,%d)", lo, lo*2)}
+			any := false
+			for _, s := range res.Series {
+				switch {
+				case s.Skipped:
+					cells = append(cells, "-")
+				case b >= len(s.Buckets) || s.Buckets[b].Vertices == 0:
+					cells = append(cells, "")
+				default:
+					cells = append(cells, fmt.Sprintf("%.3f", s.Buckets[b].MissRate()))
+					any = true
+				}
+			}
+			if any {
+				t.Add(cells...)
+			}
+		}
+		env.render(t)
+	}
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ihtl/internal/core"
+	"ihtl/internal/graph"
+	"ihtl/internal/spmv"
+)
+
+// Fig7Row is one dataset's row of Figure 7: per-iteration SpMV
+// (PageRank) execution time under each traversal engine, plus the
+// Table 2 preprocessing statistic (iHTL build time expressed in
+// engine iterations).
+type Fig7Row struct {
+	Dataset       string
+	NumV          int
+	NumE          int64
+	PushAtomic    time.Duration
+	PushBuffered  time.Duration
+	Pull          time.Duration
+	PullPartition time.Duration
+	IHTL          time.Duration
+	// Preprocess is the iHTL graph construction time (Table 2 / Fig 8).
+	Preprocess time.Duration
+}
+
+// Speedup returns other/ihtl as a factor.
+func (r Fig7Row) Speedup(other time.Duration) float64 {
+	if r.IHTL == 0 {
+		return 0
+	}
+	return float64(other) / float64(r.IHTL)
+}
+
+// PreprocessIters expresses preprocessing cost in units of the given
+// per-iteration time (Table 2's metric).
+func (r Fig7Row) PreprocessIters(perIter time.Duration) float64 {
+	if perIter == 0 {
+		return 0
+	}
+	return float64(r.Preprocess) / float64(perIter)
+}
+
+// RunFig7 measures one dataset. Engines mirror the paper's matrix:
+// push with atomics and with buffering (the GraphGrind/GraphIt push
+// analogues), pull plain and destination-partitioned (the
+// GraphGrind/GraphIt/Galois pull analogues), and iHTL.
+func RunFig7(env *Env, name string, g *graph.Graph) (Fig7Row, error) {
+	row := Fig7Row{Dataset: name, NumV: g.NumV, NumE: g.NumE}
+
+	mk := func(dir spmv.Direction) (*spmv.Engine, error) {
+		return spmv.NewEngine(g, env.Pool, dir, spmv.Options{})
+	}
+	pa, err := mk(spmv.PushAtomic)
+	if err != nil {
+		return row, err
+	}
+	pb, err := mk(spmv.PushBuffered)
+	if err != nil {
+		return row, err
+	}
+	pl, err := mk(spmv.Pull)
+	if err != nil {
+		return row, err
+	}
+	pp, err := mk(spmv.PushPartitioned)
+	if err != nil {
+		return row, err
+	}
+
+	start := time.Now()
+	ih, err := core.Build(g, env.ihtlParams())
+	if err != nil {
+		return row, err
+	}
+	row.Preprocess = time.Since(start)
+	ie, err := core.NewEngine(ih, env.Pool)
+	if err != nil {
+		return row, err
+	}
+
+	row.PushAtomic = stepTime(pa, env.Iters)
+	row.PushBuffered = stepTime(pb, env.Iters)
+	row.Pull = stepTime(pl, env.Iters)
+	row.PullPartition = stepTime(pp, env.Iters)
+	row.IHTL = stepTime(ie, env.Iters)
+	return row, nil
+}
+
+// RenderFig7 prints Figure 7 (execution times) and Table 2
+// (preprocessing overhead in iterations) for the given rows.
+func RenderFig7(env *Env, rows []Fig7Row) {
+	t := &Table{
+		Title: "Figure 7: per-iteration SpMV/PageRank time (ms)",
+		Header: []string{"Dataset", "|V|", "|E|", "Push-atomic", "Push-buf",
+			"Pull", "Push-part", "iHTL", "Pull/iHTL", "Push/iHTL"},
+	}
+	var sumPull, sumPush float64
+	for _, r := range rows {
+		t.Add(r.Dataset, r.NumV, r.NumE,
+			ms(r.PushAtomic.Seconds()), ms(r.PushBuffered.Seconds()),
+			ms(r.Pull.Seconds()), ms(r.PullPartition.Seconds()), ms(r.IHTL.Seconds()),
+			fmt.Sprintf("%.2fx", r.Speedup(r.Pull)),
+			fmt.Sprintf("%.2fx", r.Speedup(r.PushAtomic)))
+		sumPull += r.Speedup(r.Pull)
+		sumPush += r.Speedup(r.PushAtomic)
+	}
+	if n := float64(len(rows)); n > 0 {
+		t.Add("Avg. Speedup", "", "", "", "", "", "", "",
+			fmt.Sprintf("%.2fx", sumPull/n), fmt.Sprintf("%.2fx", sumPush/n))
+	}
+	env.render(t)
+
+	t2 := &Table{
+		Title:  "Table 2: iHTL preprocessing overhead (in SpMV iterations of each engine)",
+		Header: []string{"Dataset", "Preproc (ms)", "vs Pull", "vs Push-buf", "vs Push-part", "vs iHTL"},
+	}
+	for _, r := range rows {
+		t2.Add(r.Dataset, ms(r.Preprocess.Seconds()),
+			fmt.Sprintf("%.1f", r.PreprocessIters(r.Pull)),
+			fmt.Sprintf("%.1f", r.PreprocessIters(r.PushBuffered)),
+			fmt.Sprintf("%.1f", r.PreprocessIters(r.PullPartition)),
+			fmt.Sprintf("%.1f", r.PreprocessIters(r.IHTL)))
+	}
+	env.render(t2)
+}

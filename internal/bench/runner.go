@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+)
+
+// DefaultGOrderCap is the edge-count bound above which GOrder is
+// skipped (its 2-hop windowed scoring is far slower than everything
+// else, as in the paper, where GOrder could not process the largest
+// graphs either).
+const DefaultGOrderCap = int64(400_000)
+
+// Experiments lists the runnable experiment IDs.
+func Experiments() []string {
+	return []string{"fig1", "fig2", "fig7", "table2", "table3", "table4", "fig8", "table5", "table6", "fig9"}
+}
+
+// Run executes the named experiment over the given datasets and
+// renders its tables to env.Out. "table2" is produced by the fig7
+// driver (it reuses the same measurements).
+func Run(env *Env, exp string, datasets []*Dataset) error {
+	switch exp {
+	case "fig2":
+		return RunFig2(env)
+	case "fig1":
+		var results []Fig1Result
+		for _, d := range datasets {
+			g, err := d.Load()
+			if err != nil {
+				return fmt.Errorf("%s: %w", d.Name, err)
+			}
+			r, err := RunFig1(env, d.Name, g, DefaultGOrderCap)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+		RenderFig1(env, results)
+	case "fig7", "table2":
+		var rows []Fig7Row
+		for _, d := range datasets {
+			g, err := d.Load()
+			if err != nil {
+				return fmt.Errorf("%s: %w", d.Name, err)
+			}
+			r, err := RunFig7(env, d.Name, g)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, r)
+		}
+		RenderFig7(env, rows)
+	case "table3":
+		var rows []Table3Row
+		for _, d := range datasets {
+			g, err := d.Load()
+			if err != nil {
+				return fmt.Errorf("%s: %w", d.Name, err)
+			}
+			r, err := RunTable3(env, d.Name, g)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, r)
+		}
+		RenderTable3(env, rows)
+	case "table4":
+		var rows []Table4Row
+		for _, d := range datasets {
+			g, err := d.Load()
+			if err != nil {
+				return fmt.Errorf("%s: %w", d.Name, err)
+			}
+			r, err := RunTable4(env, d.Name, g)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, r)
+		}
+		RenderTable4(env, rows)
+	case "fig8":
+		var rows []Fig8Row
+		for _, d := range datasets {
+			g, err := d.Load()
+			if err != nil {
+				return fmt.Errorf("%s: %w", d.Name, err)
+			}
+			r, err := RunFig8(env, d.Name, g, DefaultGOrderCap)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, r)
+		}
+		RenderFig8(env, rows)
+	case "table5":
+		var rows []Table5Row
+		for _, d := range datasets {
+			g, err := d.Load()
+			if err != nil {
+				return fmt.Errorf("%s: %w", d.Name, err)
+			}
+			r, err := RunTable5(env, d.Name, g)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, r)
+		}
+		RenderTable5(env, rows)
+	case "table6":
+		var rows []Table6Row
+		for _, d := range datasets {
+			g, err := d.Load()
+			if err != nil {
+				return fmt.Errorf("%s: %w", d.Name, err)
+			}
+			r, err := RunTable6(env, d.Name, g)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, r)
+		}
+		RenderTable6(env, rows)
+	case "fig9":
+		var results []Fig9Result
+		for _, d := range datasets {
+			g, err := d.Load()
+			if err != nil {
+				return fmt.Errorf("%s: %w", d.Name, err)
+			}
+			results = append(results, RunFig9(d.Name, d.Kind, g))
+		}
+		RenderFig9(env, results)
+	default:
+		return fmt.Errorf("bench: unknown experiment %q (have %v)", exp, Experiments())
+	}
+	return nil
+}
+
+// RunAll executes every experiment in registry order. table2 is
+// skipped because the fig7 driver renders it.
+func RunAll(env *Env, datasets []*Dataset) error {
+	for _, e := range Experiments() {
+		if e == "table2" {
+			continue
+		}
+		if err := Run(env, e, datasets); err != nil {
+			return fmt.Errorf("%s: %w", e, err)
+		}
+	}
+	return nil
+}

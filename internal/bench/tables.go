@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ihtl/internal/core"
+	"ihtl/internal/graph"
+	"ihtl/internal/spmv"
+	"ihtl/internal/stats"
+)
+
+// Table3Row compares simulated memory accesses and cache misses of
+// pull vs iHTL (paper Table 3, in millions on the paper's graphs; raw
+// counts here).
+type Table3Row struct {
+	Dataset        string
+	PullAccesses   uint64
+	IHTLAccesses   uint64
+	PullL3, IHTLL3 uint64
+	PullL2, IHTLL2 uint64
+}
+
+// RunTable3 simulates one PageRank-style iteration under both
+// traversals.
+func RunTable3(env *Env, name string, g *graph.Graph) (Table3Row, error) {
+	row := Table3Row{Dataset: name}
+	pull, _ := spmv.SimulatePull(g, env.CacheCfg, false)
+	ih, err := core.Build(g, core.Params{CacheBytes: env.CacheCfg.Levels[1].SizeBytes})
+	if err != nil {
+		return row, err
+	}
+	is, _ := core.SimulateStep(ih, g, env.CacheCfg, false)
+	row.PullAccesses = pull.Loads + pull.Stores
+	row.IHTLAccesses = is.Loads + is.Stores
+	row.PullL3, row.IHTLL3 = pull.L3.Misses, is.L3.Misses
+	row.PullL2, row.IHTLL2 = pull.L2.Misses, is.L2.Misses
+	return row, nil
+}
+
+// EstCost estimates the memory-system cost of one iteration in cycle
+// units with a conventional latency model (1 cycle per access, 12 per
+// L2 miss, 60 per L3 miss served from L3... the L3-miss term uses the
+// DRAM latency since an L3 miss goes to memory): cost = accesses +
+// 12*L2misses + 170*L3misses. It stands in for the wall-clock Figure 7
+// comparison on machines whose real caches dwarf the test graphs (see
+// EXPERIMENTS.md).
+func (r Table3Row) EstCost(accesses, l2, l3 uint64) float64 {
+	return float64(accesses) + 12*float64(l2) + 170*float64(l3)
+}
+
+// CostRatio returns estimated pull cost / iHTL cost (> 1 means iHTL
+// wins).
+func (r Table3Row) CostRatio() float64 {
+	ih := r.EstCost(r.IHTLAccesses, r.IHTLL2, r.IHTLL3)
+	if ih == 0 {
+		return 0
+	}
+	return r.EstCost(r.PullAccesses, r.PullL2, r.PullL3) / ih
+}
+
+// RenderTable3 prints Table 3 plus the derived cost ratio.
+func RenderTable3(env *Env, rows []Table3Row) {
+	t := &Table{
+		Title: "Table 3: memory accesses and cache misses (simulated, thousands)",
+		Header: []string{"Dataset", "Accesses pull", "Accesses iHTL",
+			"L3 miss pull", "L3 miss iHTL", "L2 miss pull", "L2 miss iHTL",
+			"Est. pull/iHTL"},
+	}
+	k := func(x uint64) string { return fmt.Sprintf("%d", x/1000) }
+	var sum float64
+	for _, r := range rows {
+		t.Add(r.Dataset, k(r.PullAccesses), k(r.IHTLAccesses),
+			k(r.PullL3), k(r.IHTLL3), k(r.PullL2), k(r.IHTLL2),
+			fmt.Sprintf("%.2fx", r.CostRatio()))
+		sum += r.CostRatio()
+	}
+	if n := float64(len(rows)); n > 0 {
+		t.Add("Avg.", "", "", "", "", "", "", fmt.Sprintf("%.2fx", sum/n))
+	}
+	env.render(t)
+}
+
+// Table4Row compares topology sizes (paper Table 4).
+type Table4Row struct {
+	Dataset   string
+	CSCBytes  int64
+	IHTLBytes int64
+	Overhead  float64
+}
+
+// RunTable4 computes the topology accounting.
+func RunTable4(env *Env, name string, g *graph.Graph) (Table4Row, error) {
+	ih, err := core.Build(g, env.ihtlParams())
+	if err != nil {
+		return Table4Row{}, err
+	}
+	s := ih.Stats(g)
+	return Table4Row{Dataset: name, CSCBytes: s.CSCBytes, IHTLBytes: s.TopologyBytes, Overhead: s.OverheadFrac}, nil
+}
+
+// RenderTable4 prints Table 4.
+func RenderTable4(env *Env, rows []Table4Row) {
+	t := &Table{
+		Title:  "Table 4: size of topology data",
+		Header: []string{"Dataset", "CSC (MiB)", "iHTL (MiB)", "Overhead"},
+	}
+	mib := func(b int64) string { return fmt.Sprintf("%.2f", float64(b)/(1<<20)) }
+	for _, r := range rows {
+		t.Add(r.Dataset, mib(r.CSCBytes), mib(r.IHTLBytes), pct(r.Overhead))
+	}
+	env.render(t)
+}
+
+// Table5Row reports iHTL graph statistics and execution breakdown.
+type Table5Row struct {
+	Dataset string
+	Stats   core.GraphStats
+	Exec    core.ExecBreakdown
+}
+
+// RunTable5 builds iHTL, runs timed iterations, and derives the
+// Table 5 columns.
+func RunTable5(env *Env, name string, g *graph.Graph) (Table5Row, error) {
+	row := Table5Row{Dataset: name}
+	ih, err := core.Build(g, env.ihtlParams())
+	if err != nil {
+		return row, err
+	}
+	row.Stats = ih.Stats(g)
+	e, err := core.NewEngine(ih, env.Pool)
+	if err != nil {
+		return row, err
+	}
+	stepTime(e, env.Iters) // warms and accumulates breakdown
+	row.Exec = ih.ExecStats(e.TakeBreakdown())
+	return row, nil
+}
+
+// RenderTable5 prints Table 5.
+func RenderTable5(env *Env, rows []Table5Row) {
+	t := &Table{
+		Title: "Table 5: iHTL graph statistics and execution breakdown",
+		Header: []string{"Dataset", "#FB", "VWEH", "Min hub deg", "FB edges",
+			"FB time", "Buf merge", "FB speed"},
+	}
+	for _, r := range rows {
+		t.Add(r.Dataset, r.Stats.NumBlocks, pct(r.Stats.VWEHFrac), r.Stats.MinHubDegree,
+			pct(r.Stats.FlippedEdgeFrac), pct(r.Exec.FlippedTimeFrac),
+			pct(r.Exec.MergeTimeFrac), fmt.Sprintf("%.2f", r.Exec.FlippedSpeed))
+	}
+	env.render(t)
+}
+
+// Table6Row is the buffer-size sensitivity sweep (paper Table 6):
+// iteration time with hubs-per-block derived from L1, L2/2, L2 and
+// 2xL2 capacities.
+type Table6Row struct {
+	Dataset string
+	Times   []time.Duration
+}
+
+// Table6Labels names the sweep points.
+func Table6Labels() []string {
+	return []string{"L1-size", "L2/2", "L2", "L2*2"}
+}
+
+// table6CacheBytes derives the sweep capacities from the env's scaled
+// geometry.
+func table6CacheBytes(env *Env) []int {
+	l1 := env.CacheCfg.Levels[0].SizeBytes
+	l2 := env.CacheCfg.Levels[1].SizeBytes
+	return []int{l1, l2 / 2, l2, l2 * 2}
+}
+
+// RunTable6 sweeps the buffer size.
+func RunTable6(env *Env, name string, g *graph.Graph) (Table6Row, error) {
+	row := Table6Row{Dataset: name}
+	for _, cb := range table6CacheBytes(env) {
+		ih, err := core.Build(g, core.Params{CacheBytes: cb})
+		if err != nil {
+			return row, err
+		}
+		e, err := core.NewEngine(ih, env.Pool)
+		if err != nil {
+			return row, err
+		}
+		row.Times = append(row.Times, stepTime(e, env.Iters))
+	}
+	return row, nil
+}
+
+// RenderTable6 prints Table 6.
+func RenderTable6(env *Env, rows []Table6Row) {
+	t := &Table{
+		Title:  "Table 6: per-iteration time (ms) vs buffer size",
+		Header: append([]string{"Dataset"}, Table6Labels()...),
+	}
+	for _, r := range rows {
+		cells := []any{r.Dataset}
+		for _, d := range r.Times {
+			cells = append(cells, ms(d.Seconds()))
+		}
+		t.Add(cells...)
+	}
+	env.render(t)
+}
+
+// Fig9Result is the asymmetricity-by-degree distribution of one
+// dataset (paper Figure 9).
+type Fig9Result struct {
+	Dataset string
+	Kind    string
+	Buckets []stats.AsymmetryBucket
+	HubAsym float64
+}
+
+// RunFig9 computes asymmetricity per in-degree bucket plus the
+// top-100-hub mean.
+func RunFig9(name, kind string, g *graph.Graph) Fig9Result {
+	return Fig9Result{
+		Dataset: name,
+		Kind:    kind,
+		Buckets: stats.AsymmetryByDegree(g),
+		HubAsym: stats.HubAsymmetricity(g, 100),
+	}
+}
+
+// RenderFig9 prints Figure 9.
+func RenderFig9(env *Env, results []Fig9Result) {
+	for _, res := range results {
+		t := &Table{
+			Title:  fmt.Sprintf("Figure 9 (%s, %s): asymmetricity by in-degree (hub mean %.2f)", res.Dataset, res.Kind, res.HubAsym),
+			Header: []string{"in-degree", "vertices", "mean asymmetricity"},
+		}
+		for _, b := range res.Buckets {
+			t.Add(fmt.Sprintf("[%d,%d)", b.DegreeLo, b.DegreeHi), b.Count, fmt.Sprintf("%.3f", b.MeanAsymmetricity))
+		}
+		env.render(t)
+	}
+}

@@ -1,0 +1,100 @@
+package cache
+
+import "fmt"
+
+// MultiHierarchy simulates the paper's actual cache topology: each
+// core owns private L1 and L2 levels, all cores share one L3. It
+// extends the single-stream Hierarchy to parallel traces, which is
+// what validates §3.4's design point — each thread's flipped-block
+// buffer lives in that thread's PRIVATE L2, so concurrent threads do
+// not evict each other's hub data, while pull traversal's random
+// reads all contend for the shared L3.
+//
+// Coherence is modelled minimally: lines live independently per
+// private hierarchy (no invalidations), adequate because the traced
+// kernels never write shared lines concurrently (that is the whole
+// point of buffering/partitioning).
+type MultiHierarchy struct {
+	lineShift uint
+	cores     []privateLevels
+	shared    *setAssoc
+	loads     uint64
+	stores    uint64
+}
+
+type privateLevels struct {
+	l1, l2 *setAssoc
+}
+
+// NewMultiHierarchy builds a simulator with `cores` private L1+L2
+// pairs over one shared L3. cfg must have exactly 3 levels.
+func NewMultiHierarchy(cfg Config, cores int) (*MultiHierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Levels) != 3 {
+		return nil, fmt.Errorf("cache: MultiHierarchy needs 3 levels, got %d", len(cfg.Levels))
+	}
+	if cores < 1 {
+		return nil, fmt.Errorf("cache: cores %d < 1", cores)
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineSize {
+		shift++
+	}
+	m := &MultiHierarchy{lineShift: shift, shared: newSetAssoc(cfg.Levels[2], cfg.LineSize)}
+	for c := 0; c < cores; c++ {
+		m.cores = append(m.cores, privateLevels{
+			l1: newSetAssoc(cfg.Levels[0], cfg.LineSize),
+			l2: newSetAssoc(cfg.Levels[1], cfg.LineSize),
+		})
+	}
+	return m, nil
+}
+
+// Cores reports the core count.
+func (m *MultiHierarchy) Cores() int { return len(m.cores) }
+
+// Read simulates a load by the given core.
+func (m *MultiHierarchy) Read(core int, addr uint64) {
+	m.loads++
+	m.refer(core, addr>>m.lineShift)
+}
+
+// Write simulates a store by the given core (write-allocate).
+func (m *MultiHierarchy) Write(core int, addr uint64) {
+	m.stores++
+	m.refer(core, addr>>m.lineShift)
+}
+
+func (m *MultiHierarchy) refer(core int, line uint64) {
+	p := &m.cores[core]
+	if p.l1.access(line, true) {
+		return
+	}
+	if p.l2.access(line, true) {
+		return
+	}
+	m.shared.access(line, true)
+}
+
+// PrivateStats sums the per-core private-level counters.
+func (m *MultiHierarchy) PrivateStats() (l1, l2 LevelStats) {
+	for c := range m.cores {
+		l1.Accesses += m.cores[c].l1.accesses
+		l1.Misses += m.cores[c].l1.misses
+		l2.Accesses += m.cores[c].l2.accesses
+		l2.Misses += m.cores[c].l2.misses
+	}
+	return l1, l2
+}
+
+// SharedStats returns the shared-L3 counters.
+func (m *MultiHierarchy) SharedStats() LevelStats {
+	return LevelStats{Accesses: m.shared.accesses, Misses: m.shared.misses}
+}
+
+// MemoryAccesses returns total simulated loads and stores.
+func (m *MultiHierarchy) MemoryAccesses() (loads, stores uint64) {
+	return m.loads, m.stores
+}

@@ -1,0 +1,105 @@
+// Package compress implements the light-weight graph-topology
+// compression the paper lists as future work for shrinking iHTL's
+// topology data (§6, citing the WebGraph framework's techniques):
+// per-vertex delta encoding of sorted neighbour lists with LEB128
+// varints. Sorted adjacency has small gaps on locality-friendly
+// orderings, so gaps compress far below the flat 4 bytes per
+// neighbour.
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodeAdjacency compresses a CSR/CSC adjacency (offset array plus
+// neighbour array, lists sorted ascending per vertex) into a byte
+// stream: for each vertex, a varint degree, then the first neighbour
+// as a varint, then varint gaps (successor minus predecessor; 0 gaps
+// are legal so duplicate-free input is not required).
+func EncodeAdjacency(index []int64, nbrs []uint32) []byte {
+	numV := len(index) - 1
+	// Heuristic initial capacity: ~2 bytes per edge + 1 per vertex.
+	out := make([]byte, 0, len(nbrs)*2+numV)
+	for v := 0; v < numV; v++ {
+		lo, hi := index[v], index[v+1]
+		out = binary.AppendUvarint(out, uint64(hi-lo))
+		prev := uint64(0)
+		for i := lo; i < hi; i++ {
+			cur := uint64(nbrs[i])
+			if i == lo {
+				out = binary.AppendUvarint(out, cur)
+			} else {
+				out = binary.AppendUvarint(out, cur-prev)
+			}
+			prev = cur
+		}
+	}
+	return out
+}
+
+// DecodeAdjacency reverses EncodeAdjacency. numV and numE give the
+// expected shape; a mismatch or malformed stream returns an error.
+func DecodeAdjacency(data []byte, numV int, numE int64) ([]int64, []uint32, error) {
+	index := make([]int64, numV+1)
+	// Each encoded value needs at least one byte, so cap the initial
+	// allocation by the input size (hostile numE cannot force a huge
+	// up-front allocation).
+	capHint := numE
+	if int64(len(data)) < capHint {
+		capHint = int64(len(data))
+	}
+	nbrs := make([]uint32, 0, capHint)
+	pos := 0
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("compress: truncated varint at offset %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	for v := 0; v < numV; v++ {
+		deg, err := next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if int64(deg) > numE-int64(len(nbrs)) {
+			return nil, nil, fmt.Errorf("compress: vertex %d degree %d exceeds remaining edges", v, deg)
+		}
+		index[v+1] = index[v] + int64(deg)
+		prev := uint64(0)
+		for i := uint64(0); i < deg; i++ {
+			gap, err := next()
+			if err != nil {
+				return nil, nil, err
+			}
+			var cur uint64
+			if i == 0 {
+				cur = gap
+			} else {
+				cur = prev + gap
+			}
+			if cur >= 1<<32 {
+				return nil, nil, fmt.Errorf("compress: neighbour %d out of VID range", cur)
+			}
+			nbrs = append(nbrs, uint32(cur))
+			prev = cur
+		}
+	}
+	if pos != len(data) {
+		return nil, nil, fmt.Errorf("compress: %d trailing bytes", len(data)-pos)
+	}
+	if int64(len(nbrs)) != numE {
+		return nil, nil, fmt.Errorf("compress: decoded %d edges, want %d", len(nbrs), numE)
+	}
+	return index, nbrs, nil
+}
+
+// Ratio returns compressed bytes per edge for quick reporting.
+func Ratio(encoded []byte, numE int64) float64 {
+	if numE == 0 {
+		return 0
+	}
+	return float64(len(encoded)) / float64(numE)
+}

@@ -1,0 +1,456 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ihtl/internal/graph"
+)
+
+// FlippedBlock holds the incoming edges of one block of B in-hubs in
+// push (row-major, CSR-by-source) form. Sources are the vertices with
+// new IDs [0, NumHubs+NumVWEH) — fringe vertices have no edges to
+// hubs and are excluded, which both shrinks the topology and avoids
+// streaming their vertex data (§3.1).
+type FlippedBlock struct {
+	// HubLo and HubHi bound the block's hub range in new IDs.
+	HubLo, HubHi int
+	// Index has NumPushSources+1 offsets into Dsts; the edges of
+	// source s are Dsts[Index[s]:Index[s+1]].
+	Index []int64
+	// Dsts are hub destinations in new IDs (all in [HubLo, HubHi)).
+	Dsts []graph.VID
+	// Sources is |FVᵢ|: the number of sources with at least one edge
+	// into this block (the §3.3 block-admission statistic).
+	Sources int
+}
+
+// NumEdges returns the edge count of the block.
+func (b *FlippedBlock) NumEdges() int64 { return int64(len(b.Dsts)) }
+
+// SparseBlock holds the incoming edges of all non-hub vertices in
+// pull (column-major, CSC-by-destination) form, over new IDs.
+type SparseBlock struct {
+	// DestLo is the first destination new ID (== NumHubs).
+	DestLo int
+	// Index has NumV-DestLo+1 offsets into Srcs.
+	Index []int64
+	// Srcs are source new IDs grouped by destination, sorted.
+	Srcs []graph.VID
+}
+
+// NumEdges returns the edge count of the sparse block.
+func (s *SparseBlock) NumEdges() int64 { return int64(len(s.Srcs)) }
+
+// IHTL is the iHTL graph (Figure 3): the relabeling arrays, the
+// flipped blocks, and the sparse block.
+type IHTL struct {
+	// NumV, NumE mirror the original graph.
+	NumV int
+	NumE int64
+	// NumHubs, NumVWEH, NumFV partition the vertices; new IDs are
+	// assigned in that order (hubs first — Figure 4).
+	NumHubs, NumVWEH, NumFV int
+	// HubsPerBlock is the resolved B.
+	HubsPerBlock int
+	// NewID maps original vertex IDs to iHTL IDs; OldID is the
+	// inverse (OldID is the "relabeling array" of Figure 4).
+	NewID, OldID []graph.VID
+	// Blocks are the flipped blocks, in hub-rank order.
+	Blocks []FlippedBlock
+	// Sparse is the pull-direction remainder.
+	Sparse SparseBlock
+	// MinHubDegree is the smallest original in-degree among selected
+	// hubs (Table 5).
+	MinHubDegree int
+
+	params Params
+}
+
+// NumPushSources returns the number of vertices traversed during push
+// (hubs + VWEH).
+func (ih *IHTL) NumPushSources() int { return ih.NumHubs + ih.NumVWEH }
+
+// FlippedEdges returns the total edge count across flipped blocks.
+func (ih *IHTL) FlippedEdges() int64 {
+	var e int64
+	for i := range ih.Blocks {
+		e += ih.Blocks[i].NumEdges()
+	}
+	return e
+}
+
+// Build constructs the iHTL graph of g per §3.2-3.3.
+func Build(g *graph.Graph, p Params) (*IHTL, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rp := p.withDefaults()
+	ih := &IHTL{NumV: g.NumV, NumE: g.NumE, HubsPerBlock: rp.HubsPerBlock, params: rp}
+	if g.NumV == 0 {
+		ih.NewID = []graph.VID{}
+		ih.OldID = []graph.VID{}
+		ih.Sparse.Index = []int64{0}
+		return ih, nil
+	}
+
+	ranked := rankByInDegree(g)
+	var numHubs, blocks, minHubDeg int
+	if rp.FastSelect {
+		numHubs, blocks, minHubDeg = selectHubsFast(g, ranked, rp)
+	} else {
+		numHubs, blocks, minHubDeg = selectHubs(g, ranked, rp)
+	}
+	ih.MinHubDegree = minHubDeg
+
+	// Classify: hubs, VWEH (sources of in-edges to hubs), FV.
+	const (
+		classFV = iota
+		classVWEH
+		classHub
+	)
+	class := make([]uint8, g.NumV)
+	for i := 0; i < numHubs; i++ {
+		class[ranked[i]] = classHub
+	}
+	for i := 0; i < numHubs; i++ {
+		for _, s := range g.In(ranked[i]) {
+			if class[s] == classFV {
+				class[s] = classVWEH
+			}
+		}
+	}
+
+	// Relabeling array (Figure 4): hubs in rank order, then VWEH,
+	// then FV — each class in original order (§3.2), or by
+	// descending degree under the DegreeSortClasses ablation.
+	ih.NumHubs = numHubs
+	ih.NewID = make([]graph.VID, g.NumV)
+	ih.OldID = make([]graph.VID, g.NumV)
+	next := 0
+	for i := 0; i < numHubs; i++ {
+		ih.OldID[next] = ranked[i]
+		ih.NewID[ranked[i]] = graph.VID(next)
+		next++
+	}
+	// rankWithin orders class members under the SparseOrder extension
+	// (§6: apply e.g. Rabbit-Order to the sparse block): nil means
+	// original order.
+	var rankWithin []graph.VID
+	if rp.SparseOrder != nil {
+		rankWithin = rp.SparseOrder.Permutation(g)
+	}
+	assignClass := func(want uint8) int {
+		members := make([]graph.VID, 0)
+		for v := 0; v < g.NumV; v++ {
+			if class[v] == want {
+				members = append(members, graph.VID(v))
+			}
+		}
+		switch {
+		case rp.DegreeSortClasses:
+			sort.Slice(members, func(i, j int) bool {
+				di, dj := g.Degree(members[i]), g.Degree(members[j])
+				if di != dj {
+					return di > dj
+				}
+				return members[i] < members[j]
+			})
+		case rankWithin != nil:
+			sort.Slice(members, func(i, j int) bool {
+				return rankWithin[members[i]] < rankWithin[members[j]]
+			})
+		}
+		for _, v := range members {
+			ih.OldID[next] = v
+			ih.NewID[v] = graph.VID(next)
+			next++
+		}
+		return len(members)
+	}
+	ih.NumVWEH = assignClass(classVWEH)
+	ih.NumFV = assignClass(classFV)
+
+	buildFlippedBlocks(g, ih, blocks)
+	buildSparseBlock(g, ih)
+
+	if got := ih.FlippedEdges() + ih.Sparse.NumEdges(); got != g.NumE {
+		return nil, fmt.Errorf("core: internal error: blocks cover %d edges, want %d", got, g.NumE)
+	}
+	return ih, nil
+}
+
+// rankByInDegree returns vertex IDs sorted by descending in-degree,
+// ties broken by ascending ID for determinism.
+func rankByInDegree(g *graph.Graph) []graph.VID {
+	ranked := make([]graph.VID, g.NumV)
+	for v := range ranked {
+		ranked[v] = graph.VID(v)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		di, dj := g.InDegree(ranked[i]), g.InDegree(ranked[j])
+		if di != dj {
+			return di > dj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}
+
+// selectHubs implements §3.3: tentative blocks of B top-in-degree
+// vertices are admitted while the i-th block's source population
+// |FVᵢ| exceeds FVThreshold·|FV₁|. Returns the hub count, the number
+// of admitted blocks, and the minimum hub in-degree.
+func selectHubs(g *graph.Graph, ranked []graph.VID, p Params) (numHubs, blocks, minDeg int) {
+	b := p.HubsPerBlock
+	seen := make([]bool, g.NumV) // FV-membership marker, reused per block
+	var fv1 int
+	for blk := 0; blk < p.MaxBlocks; blk++ {
+		lo := blk * b
+		if lo >= g.NumV {
+			break
+		}
+		hi := lo + b
+		if hi > g.NumV {
+			hi = g.NumV
+		}
+		// Degree floor: stop at the first block whose top vertex is
+		// already below the hub threshold.
+		if g.InDegree(ranked[lo]) < p.MinHubDegree {
+			break
+		}
+		// |FVᵢ|: distinct sources with an edge into this block's
+		// hubs ("a pass over in-edges ... to mark the FV members and
+		// one other pass ... to count", §3.3).
+		sources := 0
+		var marked []graph.VID
+		for i := lo; i < hi; i++ {
+			if g.InDegree(ranked[i]) < p.MinHubDegree {
+				// Trailing low-degree vertices within an otherwise
+				// admitted block are still hubs only if the block is
+				// admitted as a whole; they contribute no sources.
+				continue
+			}
+			for _, s := range g.In(ranked[i]) {
+				if !seen[s] {
+					seen[s] = true
+					marked = append(marked, s)
+					sources++
+				}
+			}
+		}
+		for _, s := range marked {
+			seen[s] = false
+		}
+		if blk == 0 {
+			if sources == 0 {
+				break
+			}
+			fv1 = sources
+		} else if float64(sources) <= p.FVThreshold*float64(fv1) {
+			break
+		}
+		// Trim trailing sub-threshold vertices from the last block.
+		for hi > lo && g.InDegree(ranked[hi-1]) < p.MinHubDegree {
+			hi--
+		}
+		numHubs = hi
+		blocks++
+		if hi >= g.NumV {
+			break
+		}
+	}
+	if numHubs > 0 {
+		// ranked is sorted by descending in-degree, so the last
+		// admitted hub carries the minimum (Table 5's "Min. Hub
+		// Degree").
+		minDeg = g.InDegree(ranked[numHubs-1])
+	}
+	return numHubs, blocks, minDeg
+}
+
+// selectHubsFast implements the §6 lower-complexity variant: compute
+// FV₁ once (the distinct sources of block 1's in-edges), then a
+// single pass over the OUT-edges of FV₁ members marks, per tentative
+// block, which of those sources reach it — estimating every |FVᵢ| at
+// once instead of one in-edge pass per block. Sources outside FV₁
+// are not counted, so the estimate is a lower bound and the block
+// count can only be smaller than the exact §3.3 result.
+func selectHubsFast(g *graph.Graph, ranked []graph.VID, p Params) (numHubs, blocks, minDeg int) {
+	b := p.HubsPerBlock
+	maxBlocks := p.MaxBlocks
+	if maxBlocks > 64 {
+		maxBlocks = 64 // bitset width; the paper's graphs need <= 16
+	}
+	if g.NumV == 0 || g.InDegree(ranked[0]) < p.MinHubDegree {
+		return 0, 0, 0
+	}
+	// Candidate block of each vertex, by rank.
+	blockOf := make([]int8, g.NumV)
+	for i := range blockOf {
+		blockOf[i] = -1
+	}
+	limit := maxBlocks * b
+	if limit > g.NumV {
+		limit = g.NumV
+	}
+	for i := 0; i < limit; i++ {
+		if g.InDegree(ranked[i]) < p.MinHubDegree {
+			limit = i
+			break
+		}
+		blockOf[ranked[i]] = int8(i / b)
+	}
+	if limit == 0 {
+		return 0, 0, 0
+	}
+
+	// FV₁: distinct sources with an edge into block 1.
+	hi1 := b
+	if hi1 > limit {
+		hi1 = limit
+	}
+	seen := make([]bool, g.NumV)
+	var fv1 []graph.VID
+	for i := 0; i < hi1; i++ {
+		for _, s := range g.In(ranked[i]) {
+			if !seen[s] {
+				seen[s] = true
+				fv1 = append(fv1, s)
+			}
+		}
+	}
+	if len(fv1) == 0 {
+		return 0, 0, 0
+	}
+	// One pass over FV₁'s out-edges: per-source block bitsets
+	// aggregated into per-block distinct-source counts.
+	counts := make([]int, (limit+b-1)/b)
+	for _, s := range fv1 {
+		var mask uint64
+		for _, d := range g.Out(s) {
+			if blk := blockOf[d]; blk >= 0 {
+				mask |= 1 << uint(blk)
+			}
+		}
+		for blk := 0; mask != 0; blk++ {
+			if mask&1 != 0 {
+				counts[blk]++
+			}
+			mask >>= 1
+		}
+	}
+	threshold := p.FVThreshold * float64(counts[0])
+	for blk := 0; blk < len(counts); blk++ {
+		if blk > 0 && float64(counts[blk]) <= threshold {
+			break
+		}
+		hi := (blk + 1) * b
+		if hi > limit {
+			hi = limit
+		}
+		numHubs = hi
+		blocks++
+	}
+	if numHubs > 0 {
+		minDeg = g.InDegree(ranked[numHubs-1])
+	}
+	return numHubs, blocks, minDeg
+}
+
+// buildFlippedBlocks creates the per-block push CSR: "a pass over
+// outgoing edges from {hubs ∪ VWEH} in the CSR representation of the
+// main graph and selecting edges with in-hub destinations" (§3.2).
+func buildFlippedBlocks(g *graph.Graph, ih *IHTL, numBlocks int) {
+	if numBlocks == 0 || ih.NumHubs == 0 {
+		return
+	}
+	b := ih.HubsPerBlock
+	nsrc := ih.NumPushSources()
+	ih.Blocks = make([]FlippedBlock, numBlocks)
+	for blk := range ih.Blocks {
+		lo := blk * b
+		hi := lo + b
+		if hi > ih.NumHubs {
+			hi = ih.NumHubs
+		}
+		ih.Blocks[blk] = FlippedBlock{
+			HubLo: lo,
+			HubHi: hi,
+			Index: make([]int64, nsrc+1),
+		}
+	}
+	blockOf := func(hubNew int) int { return hubNew / b }
+
+	// Count per (source, block) degrees.
+	for s := 0; s < nsrc; s++ {
+		old := ih.OldID[s]
+		for _, d := range g.Out(old) {
+			nd := int(ih.NewID[d])
+			if nd < ih.NumHubs {
+				ih.Blocks[blockOf(nd)].Index[s+1]++
+			}
+		}
+	}
+	for blk := range ih.Blocks {
+		idx := ih.Blocks[blk].Index
+		for s := 0; s < nsrc; s++ {
+			idx[s+1] += idx[s]
+		}
+		ih.Blocks[blk].Dsts = make([]graph.VID, idx[nsrc])
+	}
+	cursors := make([][]int64, numBlocks)
+	for blk := range cursors {
+		cursors[blk] = make([]int64, nsrc)
+		copy(cursors[blk], ih.Blocks[blk].Index[:nsrc])
+	}
+	for s := 0; s < nsrc; s++ {
+		old := ih.OldID[s]
+		for _, d := range g.Out(old) {
+			nd := int(ih.NewID[d])
+			if nd < ih.NumHubs {
+				blk := blockOf(nd)
+				ih.Blocks[blk].Dsts[cursors[blk][s]] = graph.VID(nd)
+				cursors[blk][s]++
+			}
+		}
+	}
+	for blk := range ih.Blocks {
+		fb := &ih.Blocks[blk]
+		for s := 0; s < nsrc; s++ {
+			if fb.Index[s+1] > fb.Index[s] {
+				fb.Sources++
+			}
+		}
+	}
+}
+
+// buildSparseBlock creates the pull CSC over non-hub destinations:
+// "a pass over the CSC representation of the main graph for all
+// in-edges to {VWEH ∪ FV} and relabeling source of edges" (§3.2).
+func buildSparseBlock(g *graph.Graph, ih *IHTL) {
+	destLo := ih.NumHubs
+	n := ih.NumV - destLo
+	sp := &ih.Sparse
+	sp.DestLo = destLo
+	sp.Index = make([]int64, n+1)
+	for nv := destLo; nv < ih.NumV; nv++ {
+		old := ih.OldID[nv]
+		sp.Index[nv-destLo+1] = int64(g.InDegree(old))
+	}
+	for i := 0; i < n; i++ {
+		sp.Index[i+1] += sp.Index[i]
+	}
+	sp.Srcs = make([]graph.VID, sp.Index[n])
+	for nv := destLo; nv < ih.NumV; nv++ {
+		old := ih.OldID[nv]
+		dst := sp.Srcs[sp.Index[nv-destLo]:sp.Index[nv-destLo+1]]
+		for i, s := range g.In(old) {
+			dst[i] = ih.NewID[s]
+		}
+		sort.Slice(dst, func(a, b int) bool { return dst[a] < dst[b] })
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ihtl/internal/sched"
+	"ihtl/internal/spmv"
+)
+
+// Engine executes Algorithm 3 over a built IHTL graph: push the
+// flipped blocks into per-thread hub buffers, merge the buffers, then
+// pull the sparse block. It implements spmv.Stepper.
+//
+// The engine operates in iHTL (relabeled) vertex-ID space; use
+// IHTL.NewID/OldID or the PermuteToNew/PermuteToOld helpers to move
+// vectors between ID spaces.
+type Engine struct {
+	ih            *IHTL
+	pool          *sched.Pool
+	atomicFlipped bool
+
+	// bufs[w] is worker w's private accumulation buffer over all
+	// hubs — "each thread buffers B * #fb vertex data" (§3.4). With
+	// B sized to L2/8, one buffer per flipped block fits L2.
+	bufs [][]float64
+	// blockTasks are (block, source-chunk) pairs; a worker claims one
+	// at a time, so it processes a single flipped block at a time as
+	// §3.4 requires.
+	blockTasks []blockTask
+	// sparseBounds are edge-balanced destination ranges of the
+	// sparse block.
+	sparseBounds []int
+
+	breakdown Breakdown
+}
+
+type blockTask struct {
+	block  int
+	lo, hi int // source range
+}
+
+// Breakdown accumulates wall-clock time per Algorithm 3 phase across
+// Steps; Table 5's "FB Time" and "Buffer Merging" columns divide
+// these by the total.
+type Breakdown struct {
+	Flipped time.Duration
+	Merge   time.Duration
+	Sparse  time.Duration
+	Steps   int
+}
+
+// Total returns the summed phase time.
+func (b Breakdown) Total() time.Duration { return b.Flipped + b.Merge + b.Sparse }
+
+// FlippedFrac returns the fraction of time spent pushing flipped
+// blocks (0 when no Steps ran).
+func (b Breakdown) FlippedFrac() float64 {
+	if t := b.Total(); t > 0 {
+		return float64(b.Flipped) / float64(t)
+	}
+	return 0
+}
+
+// MergeFrac returns the fraction of time spent merging buffers.
+func (b Breakdown) MergeFrac() float64 {
+	if t := b.Total(); t > 0 {
+		return float64(b.Merge) / float64(t)
+	}
+	return 0
+}
+
+// EngineOptions tunes the Algorithm 3 engine.
+type EngineOptions struct {
+	// AtomicFlipped processes flipped blocks with atomic updates
+	// directly into the hub data instead of per-thread buffers. The
+	// paper chose buffering "as it is more efficient in the setting
+	// of iHTL" (§3.4); this option exists to ablate that choice.
+	AtomicFlipped bool
+}
+
+// NewEngine prepares an Algorithm 3 engine on the given pool with
+// default options. The pool is borrowed, not owned.
+func NewEngine(ih *IHTL, pool *sched.Pool) (*Engine, error) {
+	return NewEngineOpts(ih, pool, EngineOptions{})
+}
+
+// NewEngineOpts is NewEngine with explicit options.
+func NewEngineOpts(ih *IHTL, pool *sched.Pool, opt EngineOptions) (*Engine, error) {
+	if ih == nil || pool == nil {
+		return nil, fmt.Errorf("core: nil IHTL or pool")
+	}
+	e := &Engine{ih: ih, pool: pool, atomicFlipped: opt.AtomicFlipped}
+	if !e.atomicFlipped {
+		e.bufs = make([][]float64, pool.Workers())
+		for w := range e.bufs {
+			e.bufs[w] = make([]float64, ih.NumHubs)
+		}
+	}
+	// Edge-balanced source chunks per flipped block: the per-block
+	// CSR index arrays give exact per-source edge counts.
+	chunksPerBlock := pool.Workers() * 4
+	for b := range ih.Blocks {
+		fb := &ih.Blocks[b]
+		if fb.NumEdges() == 0 {
+			continue
+		}
+		bounds := sched.EdgeBalancedParts(fb.Index, chunksPerBlock)
+		for c := 0; c < len(bounds)-1; c++ {
+			if bounds[c] < bounds[c+1] {
+				e.blockTasks = append(e.blockTasks, blockTask{block: b, lo: bounds[c], hi: bounds[c+1]})
+			}
+		}
+	}
+	if n := ih.NumV - ih.Sparse.DestLo; n > 0 {
+		e.sparseBounds = sched.EdgeBalancedParts(ih.Sparse.Index, pool.Workers()*4)
+	}
+	return e, nil
+}
+
+// NumVertices implements spmv.Stepper.
+func (e *Engine) NumVertices() int { return e.ih.NumV }
+
+// Graph returns the engine's iHTL graph.
+func (e *Engine) Graph() *IHTL { return e.ih }
+
+// TakeBreakdown returns the accumulated phase breakdown and resets it.
+func (e *Engine) TakeBreakdown() Breakdown {
+	b := e.breakdown
+	e.breakdown = Breakdown{}
+	return b
+}
+
+// Step computes dst[v] = Σ_{u ∈ N⁻(v)} src[u] in iHTL ID space.
+// src and dst must have length NumV and must not alias.
+func (e *Engine) Step(src, dst []float64) {
+	ih := e.ih
+	if len(src) != ih.NumV || len(dst) != ih.NumV {
+		panic("core: vector length mismatch")
+	}
+
+	// Phase 1 — push traversal of the flipped blocks (Alg. 3 l.1-4).
+	t0 := time.Now()
+	if e.atomicFlipped {
+		// Ablation path: skip the buffers and CAS straight into the
+		// hub data. Requires zeroed hub slots first.
+		e.pool.ForStatic(ih.NumHubs, func(w, lo, hi int) {
+			clear(dst[lo:hi])
+		})
+		e.pool.ForEachPart(len(e.blockTasks), func(w, task int) {
+			bt := e.blockTasks[task]
+			fb := &ih.Blocks[bt.block]
+			dsts := fb.Dsts
+			for s := bt.lo; s < bt.hi; s++ {
+				x := src[s]
+				if x == 0 {
+					continue
+				}
+				for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
+					spmv.AtomicAddFloat64(&dst[dsts[i]], x)
+				}
+			}
+		})
+	} else {
+		e.pool.ForEachPart(len(e.blockTasks), func(w, task int) {
+			bt := e.blockTasks[task]
+			fb := &ih.Blocks[bt.block]
+			buf := e.bufs[w]
+			dsts := fb.Dsts
+			for s := bt.lo; s < bt.hi; s++ {
+				x := src[s]
+				if x == 0 {
+					continue
+				}
+				for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
+					buf[dsts[i]] += x
+				}
+			}
+		})
+	}
+	t1 := time.Now()
+
+	// Phase 2 — aggregate thread buffers into hub data (l.5-7),
+	// clearing each buffer entry after reading so the buffers are
+	// ready for the next iteration without a separate reset sweep.
+	// The atomic ablation wrote hub data in phase 1 already.
+	if !e.atomicFlipped {
+		bufs := e.bufs
+		e.pool.ForStatic(ih.NumHubs, func(w, lo, hi int) {
+			for h := lo; h < hi; h++ {
+				sum := 0.0
+				for t := range bufs {
+					sum += bufs[t][h]
+					bufs[t][h] = 0
+				}
+				dst[h] = sum
+			}
+		})
+	}
+	t2 := time.Now()
+
+	// Phase 3 — pull traversal of the sparse block (l.8-10).
+	sp := &ih.Sparse
+	nparts := len(e.sparseBounds) - 1
+	if nparts > 0 {
+		e.pool.ForEachPart(nparts, func(w, part int) {
+			lo, hi := e.sparseBounds[part], e.sparseBounds[part+1]
+			for i := lo; i < hi; i++ {
+				sum := 0.0
+				for j := sp.Index[i]; j < sp.Index[i+1]; j++ {
+					sum += src[sp.Srcs[j]]
+				}
+				dst[sp.DestLo+i] = sum
+			}
+		})
+	}
+	t3 := time.Now()
+
+	e.breakdown.Flipped += t1.Sub(t0)
+	e.breakdown.Merge += t2.Sub(t1)
+	e.breakdown.Sparse += t3.Sub(t2)
+	e.breakdown.Steps++
+}
+
+// PermuteToNew scatters a vector indexed by original IDs into iHTL ID
+// order: out[NewID[v]] = in[v].
+func (ih *IHTL) PermuteToNew(in, out []float64) {
+	if len(in) != ih.NumV || len(out) != ih.NumV {
+		panic("core: vector length mismatch")
+	}
+	for v, nv := range ih.NewID {
+		out[nv] = in[v]
+	}
+}
+
+// PermuteToOld is the inverse of PermuteToNew: out[v] = in[NewID[v]].
+func (ih *IHTL) PermuteToOld(in, out []float64) {
+	if len(in) != ih.NumV || len(out) != ih.NumV {
+		panic("core: vector length mismatch")
+	}
+	for v, nv := range ih.NewID {
+		out[v] = in[nv]
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ihtl/internal/graph"
+)
+
+// FuzzReadIHTL guards the iHTL binary decoder: arbitrary bytes must
+// either fail cleanly or decode into a structurally sound iHTL graph
+// (inverse relabeling arrays, in-range block destinations, edge
+// conservation — all checked inside ReadIHTL).
+func FuzzReadIHTL(f *testing.F) {
+	ih, err := Build(graph.PaperExample(), Params{HubsPerBlock: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ih.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	data := append([]byte(nil), buf.Bytes()...)
+	data[len(data)/2] ^= 0xA5
+	f.Add(data)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadIHTL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got.FlippedEdges()+got.Sparse.NumEdges() != got.NumE {
+			t.Fatal("decoder accepted inconsistent edge counts")
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"ihtl/internal/graph"
+	"ihtl/internal/sched"
+	"ihtl/internal/spmv"
+)
+
+// GenericEngine runs Algorithm 3 over any commutative monoid — the §6
+// extension of iHTL beyond sum-SpMV: with the min monoid it computes
+// the label-propagation step of connected components, with min-plus
+// relaxations SSSP rounds, with boolean-or reachability — each with
+// flipped-block locality for the in-hubs.
+type GenericEngine[T any] struct {
+	ih   *IHTL
+	pool *sched.Pool
+	m    spmv.Monoid[T]
+
+	bufs         [][]T
+	blockTasks   []blockTask
+	sparseBounds []int
+}
+
+// NewGenericEngine prepares a monoid Algorithm 3 engine.
+func NewGenericEngine[T any](ih *IHTL, pool *sched.Pool, m spmv.Monoid[T]) (*GenericEngine[T], error) {
+	if ih == nil || pool == nil {
+		return nil, fmt.Errorf("core: nil IHTL or pool")
+	}
+	if m.Combine == nil {
+		return nil, fmt.Errorf("core: monoid without Combine")
+	}
+	e := &GenericEngine[T]{ih: ih, pool: pool, m: m}
+	e.bufs = make([][]T, pool.Workers())
+	for w := range e.bufs {
+		buf := make([]T, ih.NumHubs)
+		for i := range buf {
+			buf[i] = m.Identity
+		}
+		e.bufs[w] = buf
+	}
+	chunksPerBlock := pool.Workers() * 4
+	for b := range ih.Blocks {
+		fb := &ih.Blocks[b]
+		if fb.NumEdges() == 0 {
+			continue
+		}
+		bounds := sched.EdgeBalancedParts(fb.Index, chunksPerBlock)
+		for c := 0; c < len(bounds)-1; c++ {
+			if bounds[c] < bounds[c+1] {
+				e.blockTasks = append(e.blockTasks, blockTask{block: b, lo: bounds[c], hi: bounds[c+1]})
+			}
+		}
+	}
+	if n := ih.NumV - ih.Sparse.DestLo; n > 0 {
+		e.sparseBounds = sched.EdgeBalancedParts(ih.Sparse.Index, pool.Workers()*4)
+	}
+	return e, nil
+}
+
+// NumVertices implements spmv.GenericStepper.
+func (e *GenericEngine[T]) NumVertices() int { return e.ih.NumV }
+
+// StepMonoid implements spmv.GenericStepper over iHTL IDs.
+func (e *GenericEngine[T]) StepMonoid(src, dst []T) {
+	ih := e.ih
+	m := e.m
+	if len(src) != ih.NumV || len(dst) != ih.NumV {
+		panic("core: vector length mismatch")
+	}
+	// Phase 1: push flipped blocks into per-worker monoid buffers.
+	e.pool.ForEachPart(len(e.blockTasks), func(w, task int) {
+		bt := e.blockTasks[task]
+		fb := &ih.Blocks[bt.block]
+		buf := e.bufs[w]
+		dsts := fb.Dsts
+		for s := bt.lo; s < bt.hi; s++ {
+			lo, hi := fb.Index[s], fb.Index[s+1]
+			if lo == hi {
+				continue
+			}
+			x := src[s]
+			for i := lo; i < hi; i++ {
+				d := dsts[i]
+				buf[d] = m.Combine(buf[d], m.Apply(x, graph.VID(s), d))
+			}
+		}
+	})
+	// Phase 2: merge and reset buffers.
+	bufs := e.bufs
+	e.pool.ForStatic(ih.NumHubs, func(w, lo, hi int) {
+		for h := lo; h < hi; h++ {
+			acc := m.Identity
+			for t := range bufs {
+				acc = m.Combine(acc, bufs[t][h])
+				bufs[t][h] = m.Identity
+			}
+			dst[h] = acc
+		}
+	})
+	// Phase 3: pull the sparse block.
+	sp := &ih.Sparse
+	if n := len(e.sparseBounds) - 1; n > 0 {
+		e.pool.ForEachPart(n, func(w, part int) {
+			lo, hi := e.sparseBounds[part], e.sparseBounds[part+1]
+			for i := lo; i < hi; i++ {
+				acc := m.Identity
+				d := graph.VID(sp.DestLo + i)
+				for j := sp.Index[i]; j < sp.Index[i+1]; j++ {
+					u := sp.Srcs[j]
+					acc = m.Combine(acc, m.Apply(src[u], u, d))
+				}
+				dst[sp.DestLo+i] = acc
+			}
+		})
+	}
+}

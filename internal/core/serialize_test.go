@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"ihtl/internal/gen"
+)
+
+func TestIHTLSerializeRoundTrip(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(10, 8, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ih, err := Build(g, Params{HubsPerBlock: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := ih.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadIHTL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumV != ih.NumV || got.NumE != ih.NumE || got.NumHubs != ih.NumHubs ||
+		got.NumVWEH != ih.NumVWEH || got.NumFV != ih.NumFV || len(got.Blocks) != len(ih.Blocks) {
+		t.Fatal("header fields changed in round trip")
+	}
+	for i := range ih.Blocks {
+		a, b := &ih.Blocks[i], &got.Blocks[i]
+		if a.HubLo != b.HubLo || a.HubHi != b.HubHi || a.Sources != b.Sources {
+			t.Fatalf("block %d header changed", i)
+		}
+		for j := range a.Index {
+			if a.Index[j] != b.Index[j] {
+				t.Fatalf("block %d index changed", i)
+			}
+		}
+		for j := range a.Dsts {
+			if a.Dsts[j] != b.Dsts[j] {
+				t.Fatalf("block %d dsts changed", i)
+			}
+		}
+	}
+	// The loaded engine must produce the same results.
+	eOrig, err := NewEngine(ih, testPool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eLoad, err := NewEngine(got, testPool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := randomVec(3, g.NumV)
+	d1 := make([]float64, g.NumV)
+	d2 := make([]float64, g.NumV)
+	eOrig.Step(src, d1)
+	eLoad.Step(src, d2)
+	for v := range d1 {
+		if d1[v] != d2[v] {
+			t.Fatalf("loaded engine differs at %d", v)
+		}
+	}
+}
+
+func TestIHTLFileRoundTrip(t *testing.T) {
+	g, err := gen.Web(gen.DefaultWeb(2000, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ih, err := Build(g, Params{HubsPerBlock: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.ihtlbin")
+	if err := ih.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FlippedEdges() != ih.FlippedEdges() {
+		t.Fatal("flipped edges changed")
+	}
+}
+
+func TestReadIHTLRejectsCorruption(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(8, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ih, err := Build(g, Params{HubsPerBlock: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ih.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	if _, err := ReadIHTL(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	for _, cut := range []int{8, 40, len(data) / 2, len(data) - 1} {
+		if _, err := ReadIHTL(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Corrupt a relabeling byte: NewID/OldID inverse check must fire.
+	bad := append([]byte(nil), data...)
+	bad[60] ^= 0xFF
+	if _, err := ReadIHTL(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupt relabeling accepted")
+	}
+}

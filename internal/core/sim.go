@@ -1,0 +1,144 @@
+package core
+
+import (
+	"ihtl/internal/cache"
+	"ihtl/internal/graph"
+	"ihtl/internal/spmv"
+)
+
+// SimulateStep replays the memory reference stream of one iHTL SpMV
+// iteration (Algorithm 3) against a simulated cache hierarchy,
+// producing the iHTL rows of Table 3 and the iHTL curve of Figure 1.
+//
+// The trace mirrors the engine exactly:
+//
+//	flipped blocks: stream block Index (8 B) and Dsts (4 B), stream
+//	  src data of push sources, random read-modify-write of the
+//	  per-thread hub buffer (B entries, the L2-resident structure);
+//	merge: stream buffer + hub data;
+//	sparse block: stream Index and Srcs, random-read src data,
+//	  stream-write dst data.
+//
+// When byDegree is true, misses of the random accesses are attributed
+// to the *original in-degree* of the destination vertex being
+// processed, bucketed by log2 — hub buckets therefore reflect the
+// flipped-block pushes that replace their pull reads (Figure 1's
+// "iHTL" series).
+func SimulateStep(ih *IHTL, g *graph.Graph, cfg cache.Config, byDegree bool) (spmv.SimStats, []spmv.DegreeMissBucket) {
+	h := cache.NewHierarchy(cfg)
+	var as cache.AddressSpace
+	srcData := as.Alloc(ih.NumV, spmv.VertexBytes)
+	dstData := as.Alloc(ih.NumV, spmv.VertexBytes)
+	buffer := as.Alloc(ih.NumHubs, spmv.VertexBytes) // single-thread trace: one buffer
+	blockIdx := make([]cache.Region, len(ih.Blocks))
+	blockDst := make([]cache.Region, len(ih.Blocks))
+	for b := range ih.Blocks {
+		blockIdx[b] = as.Alloc(len(ih.Blocks[b].Index), 8)
+		blockDst[b] = as.Alloc(len(ih.Blocks[b].Dsts), 4)
+	}
+	spIdx := as.Alloc(len(ih.Sparse.Index), 8)
+	spSrcs := as.Alloc(len(ih.Sparse.Srcs), 4)
+
+	llc := h.LastLevel()
+	snapshot := func() (uint64, uint64) {
+		loads, stores := h.MemoryAccesses()
+		return loads + stores, h.Stats(llc).Misses
+	}
+	var buckets []spmv.DegreeMissBucket
+	addBucket := func(deg int, accesses, misses uint64) {
+		b := 0
+		for d := deg; d > 1; d >>= 1 {
+			b++
+		}
+		for len(buckets) <= b {
+			lo := 1 << uint(len(buckets))
+			buckets = append(buckets, spmv.DegreeMissBucket{DegreeLo: lo, DegreeHi: lo * 2})
+		}
+		buckets[b].Vertices++
+		buckets[b].Accesses += accesses
+		buckets[b].Misses += misses
+	}
+
+	// Phase 1: push the flipped blocks. The hub-degree attribution
+	// accumulates per-hub access/miss deltas of the buffer updates.
+	type hubAcc struct {
+		accesses, misses uint64
+	}
+	var hubAccs []hubAcc
+	if byDegree {
+		hubAccs = make([]hubAcc, ih.NumHubs)
+	}
+	for b := range ih.Blocks {
+		fb := &ih.Blocks[b]
+		for s := 0; s < ih.NumPushSources(); s++ {
+			h.ReadRange(blockIdx[b].Addr(s), 16)
+			lo, hi := fb.Index[s], fb.Index[s+1]
+			if lo == hi {
+				continue
+			}
+			h.ReadRange(srcData.Addr(s), spmv.VertexBytes) // sequential source data read
+			for i := lo; i < hi; i++ {
+				h.ReadRange(blockDst[b].Addr(int(i)), 4) // streamed hub ID
+				hub := int(fb.Dsts[i])
+				if byDegree {
+					beforeAcc, beforeMiss := snapshot()
+					h.Read(buffer.Addr(hub))
+					h.Write(buffer.Addr(hub))
+					afterAcc, afterMiss := snapshot()
+					hubAccs[hub].accesses += afterAcc - beforeAcc
+					hubAccs[hub].misses += afterMiss - beforeMiss
+				} else {
+					h.Read(buffer.Addr(hub))
+					h.Write(buffer.Addr(hub))
+				}
+			}
+		}
+	}
+	if byDegree {
+		for hub := 0; hub < ih.NumHubs; hub++ {
+			deg := g.InDegree(ih.OldID[hub])
+			if deg == 0 {
+				continue
+			}
+			addBucket(deg, hubAccs[hub].accesses, hubAccs[hub].misses)
+		}
+	}
+
+	// Phase 2: merge the buffer into hub data (streaming).
+	for hub := 0; hub < ih.NumHubs; hub++ {
+		h.ReadRange(buffer.Addr(hub), spmv.VertexBytes)
+		h.Write(buffer.Addr(hub)) // reset
+		h.Write(dstData.Addr(hub))
+	}
+
+	// Phase 3: pull the sparse block.
+	n := ih.NumV - ih.Sparse.DestLo
+	for i := 0; i < n; i++ {
+		h.ReadRange(spIdx.Addr(i), 16)
+		lo, hi := ih.Sparse.Index[i], ih.Sparse.Index[i+1]
+		deg := int(hi - lo)
+		var beforeAcc, beforeMiss uint64
+		if byDegree {
+			beforeAcc, beforeMiss = snapshot()
+		}
+		for j := lo; j < hi; j++ {
+			h.ReadRange(spSrcs.Addr(int(j)), 4)
+			h.Read(srcData.Addr(int(ih.Sparse.Srcs[j])))
+		}
+		if byDegree && deg > 0 {
+			afterAcc, afterMiss := snapshot()
+			addBucket(deg, afterAcc-beforeAcc, afterMiss-beforeMiss)
+		}
+		h.Write(dstData.Addr(ih.Sparse.DestLo + i))
+	}
+
+	loads, stores := h.MemoryAccesses()
+	st := spmv.SimStats{
+		Loads:  loads,
+		Stores: stores,
+		L2:     h.Stats(cache.L2),
+		L3:     h.Stats(cache.L3),
+	}
+	st.LLCMissRate = h.Stats(llc).MissRate()
+	return st, buckets
+}

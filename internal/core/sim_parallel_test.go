@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"ihtl/internal/cache"
+	"ihtl/internal/gen"
+)
+
+func TestParallelSimIHTLBeatsPullOnSharedL3(t *testing.T) {
+	// §3.4's design point: per-thread buffers live in private L2s, so
+	// multi-core iHTL keeps its random accesses off the shared L3,
+	// while multi-core pull's random reads all contend there.
+	g, err := gen.RMAT(gen.RMATConfig{
+		Scale: 16, EdgeFactor: 12, A: 0.57, B: 0.19, C: 0.19, Noise: 0.1, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simCacheConfig() // 2KB L1 / 32KB L2 / 256KB L3
+	ih, err := Build(g, Params{CacheBytes: cfg.Levels[1].SizeBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cores := range []int{1, 2, 4} {
+		pull, err := SimulatePullParallel(g, cfg, cores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ihtl, err := SimulateStepParallel(ih, cfg, cores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ihtl.SharedL3.Misses >= pull.SharedL3.Misses {
+			t.Fatalf("cores=%d: iHTL L3 misses %d not below pull %d",
+				cores, ihtl.SharedL3.Misses, pull.SharedL3.Misses)
+		}
+		if ihtl.L2.Misses >= pull.L2.Misses {
+			t.Fatalf("cores=%d: iHTL private-L2 misses %d not below pull %d",
+				cores, ihtl.L2.Misses, pull.L2.Misses)
+		}
+	}
+}
+
+func TestParallelSimAccountsAllEdges(t *testing.T) {
+	g, err := gen.Web(gen.DefaultWeb(8000, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simCacheConfig()
+	ih, err := Build(g, Params{CacheBytes: cfg.Levels[1].SizeBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cores := range []int{1, 3, 8} {
+		pull, err := SimulatePullParallel(g, cfg, cores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One random read per edge, one write per destination.
+		if pull.Loads != uint64(g.NumE) {
+			t.Fatalf("cores=%d: pull loads %d, want %d", cores, pull.Loads, g.NumE)
+		}
+		if pull.Stores != uint64(g.NumV) {
+			t.Fatalf("cores=%d: pull stores %d, want %d", cores, pull.Stores, g.NumV)
+		}
+		ihtl, err := SimulateStepParallel(ih, cfg, cores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Buffer RMW per flipped edge + sparse read per sparse edge +
+		// merge reads: loads >= E; stores: flipped RMW + merge resets
+		// + hub writes + sparse dst writes.
+		if ihtl.Loads < uint64(g.NumE) {
+			t.Fatalf("cores=%d: ihtl loads %d below edge count %d", cores, ihtl.Loads, g.NumE)
+		}
+	}
+}
+
+func TestParallelSimErrors(t *testing.T) {
+	g, _ := gen.RMAT(gen.DefaultRMAT(6, 4, 1))
+	ih, _ := Build(g, Params{HubsPerBlock: 8})
+	twoLevel := cache.Config{LineSize: 64, Levels: []cache.LevelConfig{{SizeBytes: 1 << 10, Ways: 2}, {SizeBytes: 1 << 12, Ways: 4}}}
+	if _, err := SimulatePullParallel(g, twoLevel, 2); err == nil {
+		t.Error("two-level config accepted")
+	}
+	if _, err := SimulateStepParallel(ih, simCacheConfig(), 0); err == nil {
+		t.Error("zero cores accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import "ihtl/internal/graph"
+
+// GraphStats reports the Table 5 "Graph Statistics" columns plus the
+// Table 4 topology accounting for a built iHTL graph.
+type GraphStats struct {
+	// NumBlocks is "#FB".
+	NumBlocks int
+	// VWEHFrac is |VWEH| / |V| ("VWEH" column).
+	VWEHFrac float64
+	// MinHubDegree is the smallest in-degree among hubs.
+	MinHubDegree int
+	// FlippedEdgeFrac is the fraction of edges in flipped blocks
+	// ("FB Edges").
+	FlippedEdgeFrac float64
+	// NumHubs and HubFrac characterise the hub set.
+	NumHubs int
+	HubFrac float64
+	// TopologyBytes is the iHTL topology footprint; CSCBytes the
+	// plain CSC baseline (Table 4).
+	TopologyBytes int64
+	CSCBytes      int64
+	// OverheadFrac is TopologyBytes/CSCBytes - 1 (Table 4's
+	// "iHTL Overhead %").
+	OverheadFrac float64
+}
+
+// Stats computes the structural statistics of ih; g must be the graph
+// ih was built from (used only for the CSC baseline size).
+func (ih *IHTL) Stats(g *graph.Graph) GraphStats {
+	s := GraphStats{
+		NumBlocks:    len(ih.Blocks),
+		MinHubDegree: ih.MinHubDegree,
+		NumHubs:      ih.NumHubs,
+	}
+	if ih.NumV > 0 {
+		s.VWEHFrac = float64(ih.NumVWEH) / float64(ih.NumV)
+		s.HubFrac = float64(ih.NumHubs) / float64(ih.NumV)
+	}
+	if ih.NumE > 0 {
+		s.FlippedEdgeFrac = float64(ih.FlippedEdges()) / float64(ih.NumE)
+	}
+	s.TopologyBytes = ih.TopologyBytes()
+	_, s.CSCBytes = g.TopologyBytes()
+	if s.CSCBytes > 0 {
+		s.OverheadFrac = float64(s.TopologyBytes)/float64(s.CSCBytes) - 1
+	}
+	return s
+}
+
+// TopologyBytes returns the memory footprint of the iHTL topology
+// (Table 4): per flipped block an index array over all push sources
+// (8 B each) plus 4 B per edge; the sparse block's index and source
+// arrays; and the two relabeling arrays are excluded, matching the
+// paper's comparison of adjacency topology data only.
+func (ih *IHTL) TopologyBytes() int64 {
+	var b int64
+	for i := range ih.Blocks {
+		fb := &ih.Blocks[i]
+		b += int64(len(fb.Index))*8 + int64(len(fb.Dsts))*4
+	}
+	b += int64(len(ih.Sparse.Index))*8 + int64(len(ih.Sparse.Srcs))*4
+	return b
+}
+
+// ExecBreakdown reports the Table 5 "Exec. Breakdown" columns derived
+// from an Engine's accumulated Breakdown.
+type ExecBreakdown struct {
+	// FlippedTimeFrac is "FB Time": time share of the push phase.
+	FlippedTimeFrac float64
+	// MergeTimeFrac is "Buffer Merging".
+	MergeTimeFrac float64
+	// FlippedSpeed is "FB Speed": flipped edge share divided by
+	// flipped time share — > 1 means a flipped-block edge processes
+	// faster than the graph average.
+	FlippedSpeed float64
+}
+
+// ExecStats combines a structural edge share with a time breakdown.
+func (ih *IHTL) ExecStats(b Breakdown) ExecBreakdown {
+	var e ExecBreakdown
+	e.FlippedTimeFrac = b.FlippedFrac()
+	e.MergeTimeFrac = b.MergeFrac()
+	if ih.NumE > 0 && e.FlippedTimeFrac > 0 {
+		edgeFrac := float64(ih.FlippedEdges()) / float64(ih.NumE)
+		// Charge the merge to the flipped phase: it exists only
+		// because of buffering.
+		timeFrac := e.FlippedTimeFrac + e.MergeTimeFrac
+		if timeFrac > 0 {
+			e.FlippedSpeed = edgeFrac / timeFrac
+		}
+	}
+	return e
+}

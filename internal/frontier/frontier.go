@@ -1,0 +1,177 @@
+// Package frontier implements Ligra-style frontier-based traversal
+// with direction optimization — the §5.2 related-work family ("push
+// OR pull"): each EdgeMap over a vertex subset picks push (sparse
+// frontier) or pull (dense frontier) for the WHOLE step, based on the
+// frontier's out-edge count, after Beamer et al. and Shun & Blelloch.
+//
+// It exists as a baseline to contrast with iHTL, which mixes push and
+// pull *within* one full-graph traversal by vertex type instead of
+// switching per step; and because frontier analytics (BFS, CC over
+// shrinking frontiers) complement the all-edges SpMV analytics the
+// paper targets.
+package frontier
+
+import (
+	"sync/atomic"
+
+	"ihtl/internal/graph"
+	"ihtl/internal/sched"
+)
+
+// Subset is a set of vertex IDs held sparse (ID list) or dense
+// (bitmap), converting lazily as EdgeMap needs.
+type Subset struct {
+	n      int
+	sparse []graph.VID // valid when dense == nil
+	dense  []bool
+	count  int
+}
+
+// NewSubset returns a subset of [0,n) containing the given vertices
+// (assumed distinct).
+func NewSubset(n int, ids ...graph.VID) *Subset {
+	s := &Subset{n: n, sparse: append([]graph.VID(nil), ids...), count: len(ids)}
+	return s
+}
+
+// All returns the full subset of [0,n).
+func All(n int) *Subset {
+	dense := make([]bool, n)
+	for i := range dense {
+		dense[i] = true
+	}
+	return &Subset{n: n, dense: dense, count: n}
+}
+
+// Len returns the number of members.
+func (s *Subset) Len() int { return s.count }
+
+// Universe returns n.
+func (s *Subset) Universe() int { return s.n }
+
+// Has reports membership.
+func (s *Subset) Has(v graph.VID) bool {
+	if s.dense != nil {
+		return s.dense[v]
+	}
+	for _, u := range s.sparse {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Vertices returns the members as a slice (materialising from the
+// bitmap if needed). Callers must not modify the result.
+func (s *Subset) Vertices() []graph.VID {
+	if s.dense == nil {
+		return s.sparse
+	}
+	out := make([]graph.VID, 0, s.count)
+	for v, in := range s.dense {
+		if in {
+			out = append(out, graph.VID(v))
+		}
+	}
+	return out
+}
+
+// Bitmap returns the members as a bitmap (materialising from the
+// list if needed). Callers must not modify the result.
+func (s *Subset) Bitmap() []bool {
+	if s.dense != nil {
+		return s.dense
+	}
+	dense := make([]bool, s.n)
+	for _, v := range s.sparse {
+		dense[v] = true
+	}
+	return dense
+}
+
+// Options tunes EdgeMap.
+type Options struct {
+	// DenseThreshold: switch to dense (pull) when the frontier's
+	// out-edge count exceeds |E| / DenseThreshold. 0 selects Ligra's
+	// 20.
+	DenseThreshold int64
+}
+
+// EdgeMap relaxes the out-edges of the frontier. update(src, dst)
+// must atomically attempt to update dst's state and return true
+// exactly once per dst per step (first success claims dst for the
+// next frontier); cond(dst) returns false for vertices that need no
+// visits (already done), letting the dense direction skip early.
+// The returned subset holds the claimed destinations.
+func EdgeMap(g *graph.Graph, pool *sched.Pool, front *Subset, update func(src, dst graph.VID) bool, cond func(dst graph.VID) bool, opt Options) *Subset {
+	threshold := opt.DenseThreshold
+	if threshold <= 0 {
+		threshold = 20
+	}
+	// Frontier out-edge count decides the direction.
+	var frontEdges int64
+	for _, v := range front.Vertices() {
+		frontEdges += int64(g.OutDegree(v))
+	}
+	if frontEdges > g.NumE/threshold {
+		return edgeMapDense(g, pool, front, update, cond)
+	}
+	return edgeMapSparse(g, pool, front, update)
+}
+
+// edgeMapSparse pushes from each frontier vertex (top-down).
+func edgeMapSparse(g *graph.Graph, pool *sched.Pool, front *Subset, update func(src, dst graph.VID) bool) *Subset {
+	src := front.Vertices()
+	chunks := make([][]graph.VID, pool.Workers())
+	pool.ForDynamic(len(src), 64, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := src[i]
+			for _, d := range g.Out(v) {
+				if update(v, d) {
+					chunks[w] = append(chunks[w], d)
+				}
+			}
+		}
+	})
+	var out []graph.VID
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return &Subset{n: front.n, sparse: out, count: len(out)}
+}
+
+// edgeMapDense pulls into each candidate vertex (bottom-up): scan
+// every vertex failing cond-exclusion, probing its in-neighbours for
+// frontier membership.
+func edgeMapDense(g *graph.Graph, pool *sched.Pool, front *Subset, update func(src, dst graph.VID) bool, cond func(dst graph.VID) bool) *Subset {
+	inFront := front.Bitmap()
+	dense := make([]bool, front.n)
+	var count atomic.Int64
+	pool.ForDynamic(front.n, 256, func(w, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			d := graph.VID(v)
+			if cond != nil && !cond(d) {
+				continue
+			}
+			for _, u := range g.In(d) {
+				if inFront[u] && update(u, d) {
+					dense[v] = true
+					count.Add(1)
+					break
+				}
+			}
+		}
+	})
+	return &Subset{n: front.n, dense: dense, count: int(count.Load())}
+}
+
+// VertexMap applies fn to every member in parallel.
+func VertexMap(pool *sched.Pool, s *Subset, fn func(v graph.VID)) {
+	vs := s.Vertices()
+	pool.ForDynamic(len(vs), 256, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(vs[i])
+		}
+	})
+}

@@ -1,0 +1,213 @@
+package frontier
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"ihtl/internal/gen"
+	"ihtl/internal/graph"
+	"ihtl/internal/sched"
+)
+
+var testPool = sched.NewPool(4)
+
+// bfsViaEdgeMap is the canonical Ligra BFS: parent claims via CAS.
+func bfsViaEdgeMap(g *graph.Graph, pool *sched.Pool, src graph.VID, opt Options) []int64 {
+	n := g.NumV
+	parent := make([]atomic.Int64, n)
+	for v := range parent {
+		parent[v].Store(-1)
+	}
+	parent[src].Store(int64(src))
+	dist := make([]int64, n)
+	for v := range dist {
+		dist[v] = -1
+	}
+	dist[src] = 0
+	front := NewSubset(n, src)
+	level := int64(0)
+	for front.Len() > 0 {
+		level++
+		lvl := level
+		front = EdgeMap(g, pool, front,
+			func(s, d graph.VID) bool {
+				if parent[d].CompareAndSwap(-1, int64(s)) {
+					dist[d] = lvl
+					return true
+				}
+				return false
+			},
+			func(d graph.VID) bool { return parent[d].Load() == -1 },
+			opt)
+	}
+	return dist
+}
+
+func referenceBFS(g *graph.Graph, src graph.VID) []int64 {
+	dist := make([]int64, g.NumV)
+	for v := range dist {
+		dist[v] = -1
+	}
+	dist[src] = 0
+	q := []graph.VID{src}
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		for _, u := range g.Out(v) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				q = append(q, u)
+			}
+		}
+	}
+	return dist
+}
+
+func TestEdgeMapBFSMatchesReference(t *testing.T) {
+	rmat, err := gen.RMAT(gen.DefaultRMAT(10, 8, 71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := []*graph.Graph{
+		graph.Path(64),
+		graph.Cycle(33),
+		graph.Star(40).Transpose(), // one source, fan-out
+		rmat,
+	}
+	for gi, g := range graphs {
+		want := referenceBFS(g, 0)
+		for _, opt := range []Options{{}, {DenseThreshold: 1 << 60} /* force sparse */} {
+			got := bfsViaEdgeMap(g, testPool, 0, opt)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("graph %d opt %+v: dist[%d] = %d, want %d", gi, opt, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeMapDenseDirectionTriggered(t *testing.T) {
+	// A star's transpose from the hub: frontier {hub} has out-degree
+	// n-1 > |E|/20, forcing the dense path immediately.
+	g := graph.Star(100).Transpose()
+	dist := bfsViaEdgeMap(g, testPool, 0, Options{DenseThreshold: 20})
+	for v := 1; v < 100; v++ {
+		if dist[v] != 1 {
+			t.Fatalf("dist[%d] = %d, want 1", v, dist[v])
+		}
+	}
+}
+
+func TestSubsetRepresentations(t *testing.T) {
+	s := NewSubset(10, 3, 7)
+	if s.Len() != 2 || !s.Has(3) || !s.Has(7) || s.Has(4) {
+		t.Fatal("sparse subset wrong")
+	}
+	bm := s.Bitmap()
+	if !bm[3] || !bm[7] || bm[0] {
+		t.Fatal("bitmap conversion wrong")
+	}
+	all := All(5)
+	if all.Len() != 5 || !all.Has(4) {
+		t.Fatal("All wrong")
+	}
+	vs := all.Vertices()
+	if len(vs) != 5 {
+		t.Fatalf("All.Vertices len %d", len(vs))
+	}
+	if all.Universe() != 5 {
+		t.Fatal("Universe wrong")
+	}
+}
+
+func TestVertexMap(t *testing.T) {
+	s := All(100)
+	var hits [100]atomic.Int32
+	VertexMap(testPool, s, func(v graph.VID) { hits[v].Add(1) })
+	for v := range hits {
+		if hits[v].Load() != 1 {
+			t.Fatalf("vertex %d visited %d times", v, hits[v].Load())
+		}
+	}
+}
+
+func TestEdgeMapClaimsEachDestinationOnce(t *testing.T) {
+	// Many sources share destinations; each destination must appear
+	// exactly once in the output frontier (the update CAS dedups).
+	var edges []graph.Edge
+	for s := 0; s < 50; s++ {
+		for d := 50; d < 60; d++ {
+			edges = append(edges, graph.Edge{Src: graph.VID(s), Dst: graph.VID(d)})
+		}
+	}
+	g := graph.FromEdges(60, edges)
+	var claimed [60]atomic.Bool
+	srcs := make([]graph.VID, 50)
+	for i := range srcs {
+		srcs[i] = graph.VID(i)
+	}
+	front := NewSubset(60, srcs...)
+	out := EdgeMap(g, testPool, front,
+		func(s, d graph.VID) bool { return claimed[d].CompareAndSwap(false, true) },
+		nil, Options{DenseThreshold: 1 << 60})
+	if out.Len() != 10 {
+		t.Fatalf("claimed %d destinations, want 10", out.Len())
+	}
+	seen := map[graph.VID]bool{}
+	for _, v := range out.Vertices() {
+		if seen[v] {
+			t.Fatalf("destination %d appears twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+// ccViaEdgeMap: min-label propagation over frontiers until fixpoint.
+func TestEdgeMapConnectedComponents(t *testing.T) {
+	// Two directed cycles (strongly connected, so label propagation
+	// over out-edges alone converges per component).
+	var edges []graph.Edge
+	for i := 0; i < 8; i++ {
+		edges = append(edges, graph.Edge{Src: graph.VID(i), Dst: graph.VID((i + 1) % 8)})
+	}
+	for i := 8; i < 20; i++ {
+		next := i + 1
+		if next == 20 {
+			next = 8
+		}
+		edges = append(edges, graph.Edge{Src: graph.VID(i), Dst: graph.VID(next)})
+	}
+	g := graph.FromEdges(20, edges)
+	label := make([]atomic.Int64, 20)
+	for v := range label {
+		label[v].Store(int64(v))
+	}
+	front := All(20)
+	for front.Len() > 0 {
+		front = EdgeMap(g, testPool, front,
+			func(s, d graph.VID) bool {
+				ls := label[s].Load()
+				for {
+					ld := label[d].Load()
+					if ls >= ld {
+						return false
+					}
+					if label[d].CompareAndSwap(ld, ls) {
+						return true
+					}
+				}
+			},
+			nil, Options{})
+	}
+	for v := 0; v < 8; v++ {
+		if label[v].Load() != 0 {
+			t.Fatalf("label[%d] = %d, want 0", v, label[v].Load())
+		}
+	}
+	for v := 8; v < 20; v++ {
+		if label[v].Load() != 8 {
+			t.Fatalf("label[%d] = %d, want 8", v, label[v].Load())
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package gen
+
+import (
+	"sort"
+	"testing"
+
+	"ihtl/internal/graph"
+)
+
+func TestRMATDeterministic(t *testing.T) {
+	cfg := DefaultRMAT(10, 8, 42)
+	a, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumV != b.NumV || a.NumE != b.NumE {
+		t.Fatalf("RMAT not deterministic: (%d,%d) vs (%d,%d)", a.NumV, a.NumE, b.NumV, b.NumE)
+	}
+	for v := 0; v < a.NumV; v++ {
+		x, y := a.Out(graph.VID(v)), b.Out(graph.VID(v))
+		if len(x) != len(y) {
+			t.Fatalf("adjacency differs at %d", v)
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("adjacency differs at %d", v)
+			}
+		}
+	}
+	c, err := RMAT(DefaultRMAT(10, 8, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumE == a.NumE && c.NumV == a.NumV {
+		// Seeds may coincide in counts but full equality is suspicious.
+		same := true
+		for v := 0; v < a.NumV && same; v++ {
+			x, y := a.Out(graph.VID(v)), c.Out(graph.VID(v))
+			if len(x) != len(y) {
+				same = false
+				break
+			}
+			for i := range x {
+				if x[i] != y[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestRMATValid(t *testing.T) {
+	g, err := RMAT(DefaultRMAT(12, 8, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumV < 1000 || g.NumE < int64(g.NumV) {
+		t.Fatalf("RMAT suspiciously small: V=%d E=%d", g.NumV, g.NumE)
+	}
+}
+
+// skewStats returns the fraction of edges captured by the top-f
+// fraction of vertices by in-degree.
+func skewStats(g *graph.Graph, f float64) float64 {
+	degs := make([]int, g.NumV)
+	for v := 0; v < g.NumV; v++ {
+		degs[v] = g.InDegree(graph.VID(v))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	top := int(f * float64(g.NumV))
+	if top < 1 {
+		top = 1
+	}
+	sum := 0
+	for _, d := range degs[:top] {
+		sum += d
+	}
+	return float64(sum) / float64(g.NumE)
+}
+
+func TestRMATSkewedInDegrees(t *testing.T) {
+	g, err := RMAT(DefaultRMAT(13, 16, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Top 1% of vertices must capture a disproportionate share of
+	// in-edges (power-law graphs: typically > 20%).
+	if share := skewStats(g, 0.01); share < 0.15 {
+		t.Fatalf("RMAT in-degree not skewed: top 1%% captures %.1f%%", 100*share)
+	}
+	maxIn, _ := g.MaxInDegree()
+	if maxIn < 100 {
+		t.Fatalf("RMAT max in-degree only %d", maxIn)
+	}
+}
+
+func TestRMATRejectsBadConfig(t *testing.T) {
+	bad := []RMATConfig{
+		{Scale: 0, EdgeFactor: 8, A: 0.57, B: 0.19, C: 0.19},
+		{Scale: 10, EdgeFactor: 0, A: 0.57, B: 0.19, C: 0.19},
+		{Scale: 10, EdgeFactor: 8, A: 0.5, B: 0.3, C: 0.3},
+		{Scale: 10, EdgeFactor: 8, A: 0, B: 0.19, C: 0.19},
+		{Scale: 10, EdgeFactor: 8, A: 0.57, B: 0.19, C: 0.19, Noise: 0.9},
+	}
+	for i, cfg := range bad {
+		if _, err := RMAT(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestWebDeterministicAndValid(t *testing.T) {
+	cfg := DefaultWeb(20000, 5)
+	a, err := Web(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Web(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumV != b.NumV || a.NumE != b.NumE {
+		t.Fatal("Web not deterministic")
+	}
+}
+
+func TestWebAsymmetricHubs(t *testing.T) {
+	// The defining property (Fig. 9 / Table 1): max in-degree is far
+	// larger than max out-degree.
+	g, err := Web(DefaultWeb(30000, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxIn, _ := g.MaxInDegree()
+	maxOut, _ := g.MaxOutDegree()
+	if maxIn < 8*maxOut {
+		t.Fatalf("web graph not asymmetric: maxIn=%d maxOut=%d", maxIn, maxOut)
+	}
+	if share := skewStats(g, 0.01); share < 0.2 {
+		t.Fatalf("web in-degree not skewed: top 1%% captures %.1f%%", 100*share)
+	}
+}
+
+func TestWebRejectsBadConfig(t *testing.T) {
+	good := DefaultWeb(1000, 1)
+	mutations := []func(*WebConfig){
+		func(c *WebConfig) { c.NumV = 1 },
+		func(c *WebConfig) { c.MeanOutDegree = 0 },
+		func(c *WebConfig) { c.MaxOutDegree = c.MeanOutDegree - 1 },
+		func(c *WebConfig) { c.HostSize = 0 },
+		func(c *WebConfig) { c.Local = 1.5 },
+		func(c *WebConfig) { c.HubBias = -0.1 },
+		func(c *WebConfig) { c.HubFraction = 0 },
+		func(c *WebConfig) { c.ZipfExponent = 1 },
+	}
+	for i, mut := range mutations {
+		cfg := good
+		mut(&cfg)
+		if _, err := Web(cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestErdosRenyiNoHubs(t *testing.T) {
+	g, err := ErdosRenyi(10000, 100000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	maxIn, _ := g.MaxInDegree()
+	// Poisson(10): max over 10k draws stays below ~40.
+	if maxIn > 60 {
+		t.Fatalf("ER graph has a hub: maxIn=%d", maxIn)
+	}
+}
+
+func TestPreferentialAttachmentHubHierarchy(t *testing.T) {
+	g, err := PreferentialAttachment(20000, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if share := skewStats(g, 0.01); share < 0.15 {
+		t.Fatalf("PA in-degree not skewed: top 1%% captures %.1f%%", 100*share)
+	}
+}
+
+func TestGeneratorsRejectInvalid(t *testing.T) {
+	if _, err := ErdosRenyi(1, 10, 0); err == nil {
+		t.Error("ER n=1 accepted")
+	}
+	if _, err := ErdosRenyi(10, -1, 0); err == nil {
+		t.Error("ER m=-1 accepted")
+	}
+	if _, err := PreferentialAttachment(1, 1, 0); err == nil {
+		t.Error("PA n=1 accepted")
+	}
+	if _, err := PreferentialAttachment(10, 0, 0); err == nil {
+		t.Error("PA k=0 accepted")
+	}
+}
+
+func TestRMATReciprocity(t *testing.T) {
+	cfg := DefaultRMAT(11, 8, 9)
+	cfg.Reciprocity = 0.8
+	g, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count reciprocated edges.
+	recip, total := 0, 0
+	for v := 0; v < g.NumV; v++ {
+		for _, u := range g.Out(graph.VID(v)) {
+			total++
+			if g.HasEdge(u, graph.VID(v)) {
+				recip++
+			}
+		}
+	}
+	if frac := float64(recip) / float64(total); frac < 0.6 {
+		t.Fatalf("reciprocity %.2f, want >= 0.6", frac)
+	}
+	cfg.Reciprocity = 1.5
+	if _, err := RMAT(cfg); err == nil {
+		t.Fatal("invalid reciprocity accepted")
+	}
+}

@@ -1,0 +1,196 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"ihtl/internal/sched"
+)
+
+// BuildOptions controls how an edge list is turned into a Graph.
+type BuildOptions struct {
+	// Dedup removes duplicate (src,dst) pairs. The paper's datasets
+	// are simple graphs, so this defaults to on in Build.
+	Dedup bool
+	// DropSelfLoops removes (v,v) edges.
+	DropSelfLoops bool
+	// RemoveZeroDegree compacts away vertices with neither in- nor
+	// out-edges and renumbers the rest, as the paper does ("counted
+	// after removing zero degree vertices because of their
+	// destructive effect").
+	RemoveZeroDegree bool
+	// Pool is the worker pool to parallelise the build with. When
+	// nil the build runs sequentially.
+	Pool *sched.Pool
+}
+
+// DefaultBuildOptions mirror the paper's dataset preparation.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{Dedup: true, DropSelfLoops: false, RemoveZeroDegree: true}
+}
+
+// FromEdges builds a Graph over vertex IDs [0, numV) from the given
+// edge list using the default options. It panics on out-of-range IDs;
+// use Build for error returns.
+func FromEdges(numV int, edges []Edge) *Graph {
+	g, err := Build(numV, edges, DefaultBuildOptions())
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Build constructs the dual CSR/CSC representation from an edge list
+// in O(V + E) time using counting sort (no comparison sort on the
+// edge list). The input slice is not modified.
+func Build(numV int, edges []Edge, opt BuildOptions) (*Graph, error) {
+	if numV < 0 || numV >= 1<<32 {
+		return nil, fmt.Errorf("graph: vertex count %d out of range", numV)
+	}
+	for i, e := range edges {
+		if int(e.Src) >= numV || int(e.Dst) >= numV {
+			return nil, fmt.Errorf("graph: edge %d (%d->%d) out of range [0,%d)", i, e.Src, e.Dst, numV)
+		}
+	}
+	if opt.DropSelfLoops {
+		kept := make([]Edge, 0, len(edges))
+		for _, e := range edges {
+			if e.Src != e.Dst {
+				kept = append(kept, e)
+			}
+		}
+		edges = kept
+	}
+
+	g := &Graph{NumV: numV}
+	g.OutIndex, g.OutNbrs = bucketByKey(numV, edges, func(e Edge) (VID, VID) { return e.Src, e.Dst })
+	g.InIndex, g.InNbrs = bucketByKey(numV, edges, func(e Edge) (VID, VID) { return e.Dst, e.Src })
+	sortAdjacency(g.OutIndex, g.OutNbrs, opt.Pool)
+	sortAdjacency(g.InIndex, g.InNbrs, opt.Pool)
+	if opt.Dedup {
+		g.OutIndex, g.OutNbrs = dedupAdjacency(g.OutIndex, g.OutNbrs)
+		g.InIndex, g.InNbrs = dedupAdjacency(g.InIndex, g.InNbrs)
+		if g.OutIndex[numV] != g.InIndex[numV] {
+			// Cannot happen: dedup on both sides removes the same
+			// duplicate (src,dst) pairs.
+			return nil, fmt.Errorf("graph: internal dedup mismatch")
+		}
+	}
+	g.NumE = g.OutIndex[numV]
+
+	if opt.RemoveZeroDegree {
+		g = compactZeroDegree(g)
+	}
+	return g, nil
+}
+
+// bucketByKey groups edges by key vertex via counting sort, returning
+// the offset array and the grouped values.
+func bucketByKey(numV int, edges []Edge, kv func(Edge) (key, val VID)) ([]int64, []VID) {
+	index := make([]int64, numV+1)
+	for _, e := range edges {
+		k, _ := kv(e)
+		index[k+1]++
+	}
+	for v := 0; v < numV; v++ {
+		index[v+1] += index[v]
+	}
+	nbrs := make([]VID, len(edges))
+	cursor := make([]int64, numV)
+	copy(cursor, index[:numV])
+	for _, e := range edges {
+		k, val := kv(e)
+		nbrs[cursor[k]] = val
+		cursor[k]++
+	}
+	return index, nbrs
+}
+
+// sortAdjacency sorts each vertex's neighbour list ascending, in
+// parallel when a pool is supplied.
+func sortAdjacency(index []int64, nbrs []VID, pool *sched.Pool) {
+	n := len(index) - 1
+	sortOne := func(v int) {
+		lo, hi := index[v], index[v+1]
+		if hi-lo > 1 {
+			s := nbrs[lo:hi]
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		}
+	}
+	if pool == nil {
+		for v := 0; v < n; v++ {
+			sortOne(v)
+		}
+		return
+	}
+	pool.ForDynamic(n, 256, func(w, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			sortOne(v)
+		}
+	})
+}
+
+// dedupAdjacency removes consecutive duplicates from each sorted
+// neighbour list, rebuilding the offset array.
+func dedupAdjacency(index []int64, nbrs []VID) ([]int64, []VID) {
+	n := len(index) - 1
+	newIndex := make([]int64, n+1)
+	w := int64(0)
+	for v := 0; v < n; v++ {
+		newIndex[v] = w
+		lo, hi := index[v], index[v+1]
+		for i := lo; i < hi; i++ {
+			if i > lo && nbrs[i] == nbrs[i-1] {
+				continue
+			}
+			nbrs[w] = nbrs[i]
+			w++
+		}
+	}
+	newIndex[n] = w
+	return newIndex, nbrs[:w:w]
+}
+
+// compactZeroDegree removes vertices with no edges at all and
+// renumbers the remaining vertices, preserving their relative order.
+func compactZeroDegree(g *Graph) *Graph {
+	remap := make([]VID, g.NumV)
+	kept := 0
+	for v := 0; v < g.NumV; v++ {
+		if g.OutIndex[v+1] > g.OutIndex[v] || g.InIndex[v+1] > g.InIndex[v] {
+			remap[v] = VID(kept)
+			kept++
+		} else {
+			remap[v] = ^VID(0)
+		}
+	}
+	if kept == g.NumV {
+		return g
+	}
+	ng := &Graph{
+		NumV:     kept,
+		NumE:     g.NumE,
+		OutIndex: make([]int64, kept+1),
+		OutNbrs:  make([]VID, g.NumE),
+		InIndex:  make([]int64, kept+1),
+		InNbrs:   make([]VID, g.NumE),
+	}
+	w := 0
+	for v := 0; v < g.NumV; v++ {
+		if remap[v] == ^VID(0) {
+			continue
+		}
+		ng.OutIndex[w+1] = ng.OutIndex[w] + (g.OutIndex[v+1] - g.OutIndex[v])
+		ng.InIndex[w+1] = ng.InIndex[w] + (g.InIndex[v+1] - g.InIndex[v])
+		copy(ng.OutNbrs[ng.OutIndex[w]:ng.OutIndex[w+1]], g.OutNbrs[g.OutIndex[v]:g.OutIndex[v+1]])
+		copy(ng.InNbrs[ng.InIndex[w]:ng.InIndex[w+1]], g.InNbrs[g.InIndex[v]:g.InIndex[v+1]])
+		w++
+	}
+	for i, u := range ng.OutNbrs {
+		ng.OutNbrs[i] = remap[u]
+	}
+	for i, u := range ng.InNbrs {
+		ng.InNbrs[i] = remap[u]
+	}
+	return ng
+}

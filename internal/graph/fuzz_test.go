@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets run their seed corpus as regular tests under go test;
+// run with -fuzz=FuzzReadFrom for continuous fuzzing. The decoders
+// must never panic or accept a byte stream that fails Validate.
+
+func FuzzReadFrom(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := PaperExample().WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("IHTLGRPH garbage after magic"))
+	data := append([]byte(nil), buf.Bytes()...)
+	data[20] ^= 0xFF
+	f.Add(data)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("decoder accepted invalid graph: %v", err)
+		}
+	})
+}
+
+func FuzzReadFromCompressed(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := PaperExample().WriteToCompressed(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	data := append([]byte(nil), buf.Bytes()...)
+	if len(data) > 30 {
+		data[30] ^= 0x55
+	}
+	f.Add(data)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadFromCompressed(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("compressed decoder accepted invalid graph: %v", err)
+		}
+	})
+}

@@ -1,0 +1,198 @@
+// Package graph provides the in-memory graph substrate shared by every
+// kernel in this repository: a directed graph held simultaneously in
+// Compressed Sparse Row (CSR, out-edges) and Compressed Sparse Column
+// (CSC, in-edges) form, a parallel builder, a binary file format, and
+// relabeling support.
+//
+// Following the paper's evaluation setup (§4.1), offsets are 8-byte
+// values and neighbour IDs are 4-byte values, so |V| must stay below
+// 2^32; zero-degree vertices are removed at build time.
+package graph
+
+import "fmt"
+
+// VID is a vertex identifier. Graphs are limited to 2^32-1 vertices,
+// matching the 4-byte neighbour encoding of the paper.
+type VID = uint32
+
+// Edge is a directed edge from Src to Dst.
+type Edge struct {
+	Src, Dst VID
+}
+
+// Graph is an immutable directed graph in dual CSR/CSC form.
+//
+// The out-edges of vertex v are OutNbrs[OutIndex[v]:OutIndex[v+1]] and
+// the in-edges (i.e. in-neighbours) are InNbrs[InIndex[v]:InIndex[v+1]].
+// Neighbour lists are sorted ascending and contain no duplicates
+// unless the graph was built with duplicates allowed.
+type Graph struct {
+	// NumV is the number of vertices; valid IDs are [0, NumV).
+	NumV int
+	// NumE is the number of directed edges.
+	NumE int64
+	// OutIndex has NumV+1 entries; OutIndex[0] == 0, OutIndex[NumV] == NumE.
+	OutIndex []int64
+	// OutNbrs lists destination IDs grouped by source.
+	OutNbrs []VID
+	// InIndex has NumV+1 entries for the transposed adjacency.
+	InIndex []int64
+	// InNbrs lists source IDs grouped by destination.
+	InNbrs []VID
+}
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v VID) int {
+	return int(g.OutIndex[v+1] - g.OutIndex[v])
+}
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v VID) int {
+	return int(g.InIndex[v+1] - g.InIndex[v])
+}
+
+// Degree returns in-degree plus out-degree of v.
+func (g *Graph) Degree(v VID) int {
+	return g.InDegree(v) + g.OutDegree(v)
+}
+
+// Out returns the out-neighbour slice of v. The caller must not
+// modify it.
+func (g *Graph) Out(v VID) []VID {
+	return g.OutNbrs[g.OutIndex[v]:g.OutIndex[v+1]]
+}
+
+// In returns the in-neighbour slice of v. The caller must not
+// modify it.
+func (g *Graph) In(v VID) []VID {
+	return g.InNbrs[g.InIndex[v]:g.InIndex[v+1]]
+}
+
+// MaxInDegree returns the largest in-degree and one vertex attaining it.
+func (g *Graph) MaxInDegree() (deg int, v VID) {
+	for u := 0; u < g.NumV; u++ {
+		if d := g.InDegree(VID(u)); d > deg {
+			deg, v = d, VID(u)
+		}
+	}
+	return deg, v
+}
+
+// MaxOutDegree returns the largest out-degree and one vertex attaining it.
+func (g *Graph) MaxOutDegree() (deg int, v VID) {
+	for u := 0; u < g.NumV; u++ {
+		if d := g.OutDegree(VID(u)); d > deg {
+			deg, v = d, VID(u)
+		}
+	}
+	return deg, v
+}
+
+// HasEdge reports whether the edge (src, dst) exists, using binary
+// search over the sorted out-neighbour list of src.
+func (g *Graph) HasEdge(src, dst VID) bool {
+	nbrs := g.Out(src)
+	lo, hi := 0, len(nbrs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nbrs[mid] < dst {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(nbrs) && nbrs[lo] == dst
+}
+
+// Edges appends all edges of g to dst (in CSR order) and returns it.
+func (g *Graph) Edges(dst []Edge) []Edge {
+	for v := 0; v < g.NumV; v++ {
+		for _, u := range g.Out(VID(v)) {
+			dst = append(dst, Edge{Src: VID(v), Dst: u})
+		}
+	}
+	return dst
+}
+
+// TopologyBytes returns the memory footprint in bytes of the CSR and
+// CSC topology arrays (Table 4 accounting): 8 bytes per index entry,
+// 4 bytes per neighbour ID.
+func (g *Graph) TopologyBytes() (csr, csc int64) {
+	idx := int64(g.NumV+1) * 8
+	csr = idx + int64(len(g.OutNbrs))*4
+	csc = idx + int64(len(g.InNbrs))*4
+	return csr, csc
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph{V=%d, E=%d}", g.NumV, g.NumE)
+}
+
+// Transpose returns the reverse graph: every edge (u,v) becomes (v,u).
+// Because Graph stores both directions, transposition just swaps the
+// CSR and CSC arrays; the result shares memory with g.
+func (g *Graph) Transpose() *Graph {
+	return &Graph{
+		NumV:     g.NumV,
+		NumE:     g.NumE,
+		OutIndex: g.InIndex,
+		OutNbrs:  g.InNbrs,
+		InIndex:  g.OutIndex,
+		InNbrs:   g.OutNbrs,
+	}
+}
+
+// Validate checks the structural invariants of the dual representation
+// and returns a descriptive error on the first violation. It is used
+// by tests and by the binary loader.
+func (g *Graph) Validate() error {
+	if g.NumV < 0 {
+		return fmt.Errorf("graph: negative vertex count %d", g.NumV)
+	}
+	if len(g.OutIndex) != g.NumV+1 || len(g.InIndex) != g.NumV+1 {
+		return fmt.Errorf("graph: index length mismatch: out=%d in=%d want %d",
+			len(g.OutIndex), len(g.InIndex), g.NumV+1)
+	}
+	if g.OutIndex[0] != 0 || g.InIndex[0] != 0 {
+		return fmt.Errorf("graph: index arrays must start at 0")
+	}
+	if g.OutIndex[g.NumV] != g.NumE || g.InIndex[g.NumV] != g.NumE {
+		return fmt.Errorf("graph: edge count mismatch: csr=%d csc=%d want %d",
+			g.OutIndex[g.NumV], g.InIndex[g.NumV], g.NumE)
+	}
+	if int64(len(g.OutNbrs)) != g.NumE || int64(len(g.InNbrs)) != g.NumE {
+		return fmt.Errorf("graph: neighbour array length mismatch")
+	}
+	for v := 0; v < g.NumV; v++ {
+		if g.OutIndex[v] > g.OutIndex[v+1] {
+			return fmt.Errorf("graph: OutIndex decreasing at %d", v)
+		}
+		if g.InIndex[v] > g.InIndex[v+1] {
+			return fmt.Errorf("graph: InIndex decreasing at %d", v)
+		}
+	}
+	for i, u := range g.OutNbrs {
+		if int(u) >= g.NumV {
+			return fmt.Errorf("graph: OutNbrs[%d]=%d out of range", i, u)
+		}
+	}
+	for i, u := range g.InNbrs {
+		if int(u) >= g.NumV {
+			return fmt.Errorf("graph: InNbrs[%d]=%d out of range", i, u)
+		}
+	}
+	// CSR and CSC must describe the same edge multiset: compare
+	// per-vertex out-degrees computed from the CSC side.
+	outDeg := make([]int64, g.NumV)
+	for _, u := range g.InNbrs {
+		outDeg[u]++
+	}
+	for v := 0; v < g.NumV; v++ {
+		if outDeg[v] != g.OutIndex[v+1]-g.OutIndex[v] {
+			return fmt.Errorf("graph: CSR/CSC disagree on out-degree of %d: %d vs %d",
+				v, g.OutIndex[v+1]-g.OutIndex[v], outDeg[v])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relabel returns a new graph in which every vertex v of g is renamed
+// to newID[v]. newID must be a permutation of [0, NumV); Relabel
+// returns an error otherwise. Neighbour lists of the result are
+// re-sorted so the output satisfies the Graph invariants.
+//
+// Relabeling is the core operation behind both iHTL graph construction
+// and the baseline reordering algorithms (SlashBurn, GOrder,
+// Rabbit-Order).
+func Relabel(g *Graph, newID []VID) (*Graph, error) {
+	if len(newID) != g.NumV {
+		return nil, fmt.Errorf("graph: permutation length %d != NumV %d", len(newID), g.NumV)
+	}
+	seen := make([]bool, g.NumV)
+	for v, id := range newID {
+		if int(id) >= g.NumV {
+			return nil, fmt.Errorf("graph: newID[%d]=%d out of range", v, id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("graph: newID is not a permutation (duplicate %d)", id)
+		}
+		seen[id] = true
+	}
+
+	ng := &Graph{
+		NumV:     g.NumV,
+		NumE:     g.NumE,
+		OutIndex: make([]int64, g.NumV+1),
+		OutNbrs:  make([]VID, g.NumE),
+		InIndex:  make([]int64, g.NumV+1),
+		InNbrs:   make([]VID, g.NumE),
+	}
+	// Degrees under new labels.
+	for v := 0; v < g.NumV; v++ {
+		nv := newID[v]
+		ng.OutIndex[nv+1] = g.OutIndex[v+1] - g.OutIndex[v]
+		ng.InIndex[nv+1] = g.InIndex[v+1] - g.InIndex[v]
+	}
+	for v := 0; v < g.NumV; v++ {
+		ng.OutIndex[v+1] += ng.OutIndex[v]
+		ng.InIndex[v+1] += ng.InIndex[v]
+	}
+	for v := 0; v < g.NumV; v++ {
+		nv := newID[v]
+		dst := ng.OutNbrs[ng.OutIndex[nv]:ng.OutIndex[nv+1]]
+		for i, u := range g.Out(VID(v)) {
+			dst[i] = newID[u]
+		}
+		sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+		din := ng.InNbrs[ng.InIndex[nv]:ng.InIndex[nv+1]]
+		for i, u := range g.In(VID(v)) {
+			din[i] = newID[u]
+		}
+		sort.Slice(din, func(i, j int) bool { return din[i] < din[j] })
+	}
+	return ng, nil
+}
+
+// MustRelabel is Relabel that panics on error; for use with
+// permutations produced by this repository's own ordering code.
+func MustRelabel(g *Graph, newID []VID) *Graph {
+	ng, err := Relabel(g, newID)
+	if err != nil {
+		panic(err)
+	}
+	return ng
+}
+
+// IdentityPerm returns the identity permutation over n vertices.
+func IdentityPerm(n int) []VID {
+	p := make([]VID, n)
+	for i := range p {
+		p[i] = VID(i)
+	}
+	return p
+}
+
+// InvertPerm returns the inverse permutation: if p[v] = w then
+// InvertPerm(p)[w] = v.
+func InvertPerm(p []VID) []VID {
+	inv := make([]VID, len(p))
+	for v, w := range p {
+		inv[w] = VID(v)
+	}
+	return inv
+}
+
+// ComposePerm returns the permutation applying first then second:
+// result[v] = second[first[v]].
+func ComposePerm(first, second []VID) []VID {
+	if len(first) != len(second) {
+		panic("graph: permutation length mismatch")
+	}
+	out := make([]VID, len(first))
+	for v := range first {
+		out[v] = second[first[v]]
+	}
+	return out
+}

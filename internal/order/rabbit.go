@@ -1,0 +1,202 @@
+package order
+
+import (
+	"sort"
+
+	"ihtl/internal/graph"
+)
+
+// RabbitOrder implements the community-based ordering of Arai et al.
+// (IPDPS 2016): vertices are greedily merged into the neighbouring
+// community with the largest modularity gain, level by level, building
+// a dendrogram; new IDs are then assigned by depth-first traversal of
+// the dendrogram so each community's vertices (and recursively its
+// sub-communities') become consecutive. Like the original, merging
+// visits vertices in increasing-degree order so low-degree fringe
+// collapses into hubs rather than the reverse.
+type RabbitOrder struct {
+	// MaxLevels bounds the aggregation hierarchy; 0 selects 20.
+	MaxLevels int
+}
+
+// Name implements Algorithm.
+func (RabbitOrder) Name() string { return "rabbit-order" }
+
+// aggEdge is a weighted undirected edge of the aggregated graph.
+type aggEdge struct {
+	to graph.VID
+	w  float64
+}
+
+// Permutation implements Algorithm.
+func (r RabbitOrder) Permutation(g *graph.Graph) []graph.VID {
+	n := g.NumV
+	perm := make([]graph.VID, n)
+	if n == 0 {
+		return perm
+	}
+	maxLevels := r.MaxLevels
+	if maxLevels <= 0 {
+		maxLevels = 20
+	}
+
+	// Undirected weighted view with multi-edges folded into weights.
+	adj := make([][]aggEdge, n)
+	var totalW float64
+	wmap := make(map[graph.VID]float64)
+	for v := 0; v < n; v++ {
+		clear(wmap)
+		for _, u := range g.Out(graph.VID(v)) {
+			if int(u) != v {
+				wmap[u]++
+			}
+		}
+		for _, u := range g.In(graph.VID(v)) {
+			if int(u) != v {
+				wmap[u]++
+			}
+		}
+		lst := make([]aggEdge, 0, len(wmap))
+		for u, w := range wmap {
+			lst = append(lst, aggEdge{to: u, w: w})
+			totalW += w
+		}
+		sort.Slice(lst, func(i, j int) bool { return lst[i].to < lst[j].to })
+		adj[v] = lst
+	}
+	totalW /= 2 // each undirected edge seen from both endpoints
+	if totalW == 0 {
+		return graph.IdentityPerm(n)
+	}
+
+	// children[c] is the dendrogram: sub-communities c absorbed, in
+	// merge order.
+	children := make([][]graph.VID, n)
+	strength := make([]float64, n)
+	for v := 0; v < n; v++ {
+		for _, e := range adj[v] {
+			strength[v] += e.w
+		}
+	}
+	alive := make([]graph.VID, n)
+	for v := range alive {
+		alive[v] = graph.VID(v)
+	}
+
+	for level := 0; level < maxLevels && len(alive) > 1; level++ {
+		// Visit communities by increasing strength.
+		visit := append([]graph.VID(nil), alive...)
+		sort.Slice(visit, func(i, j int) bool {
+			si, sj := strength[visit[i]], strength[visit[j]]
+			if si != sj {
+				return si < sj
+			}
+			return visit[i] < visit[j]
+		})
+		merged := make(map[graph.VID]graph.VID, len(visit)/2)
+		resolve := func(c graph.VID) graph.VID {
+			for {
+				p, ok := merged[c]
+				if !ok {
+					return c
+				}
+				c = p
+			}
+		}
+		moves := 0
+		for _, v := range visit {
+			if _, gone := merged[v]; gone {
+				continue
+			}
+			// Best neighbour community by modularity gain
+			// ΔQ = w(v,c)/m − strength(v)·strength(c)/(2m²).
+			var best graph.VID
+			bestGain := 0.0
+			found := false
+			for _, e := range adj[v] {
+				c := resolve(e.to)
+				if c == v {
+					continue
+				}
+				gain := e.w/totalW - strength[v]*strength[c]/(2*totalW*totalW)
+				if gain > 0 && (!found || gain > bestGain || (gain == bestGain && c < best)) {
+					best, bestGain, found = c, gain, true
+				}
+			}
+			if !found {
+				continue
+			}
+			merged[v] = best
+			children[best] = append(children[best], v)
+			strength[best] += strength[v]
+			moves++
+		}
+		if moves == 0 {
+			break
+		}
+		// Contract: route every start-of-level community's edges to
+		// its absorber and aggregate weights.
+		acc := make(map[graph.VID]map[graph.VID]float64)
+		for _, c := range visit {
+			rc := resolve(c)
+			m := acc[rc]
+			if m == nil {
+				m = make(map[graph.VID]float64)
+				acc[rc] = m
+			}
+			for _, e := range adj[c] {
+				if rt := resolve(e.to); rt != rc {
+					m[rt] += e.w
+				}
+			}
+			adj[c] = nil // absorbed lists are dead after routing
+		}
+		survivors := alive[:0]
+		for _, c := range visit {
+			if _, gone := merged[c]; gone {
+				continue
+			}
+			survivors = append(survivors, c)
+			m := acc[c]
+			lst := make([]aggEdge, 0, len(m))
+			for u, w := range m {
+				lst = append(lst, aggEdge{to: u, w: w})
+			}
+			sort.Slice(lst, func(i, j int) bool { return lst[i].to < lst[j].to })
+			adj[c] = lst
+		}
+		sort.Slice(survivors, func(i, j int) bool { return survivors[i] < survivors[j] })
+		alive = survivors
+	}
+
+	// DFS numbering over the dendrogram with an explicit stack (merge
+	// chains can be deep on pathological graphs).
+	next := 0
+	visited := make([]bool, n)
+	stack := make([]graph.VID, 0, 64)
+	for _, root := range alive {
+		stack = append(stack, root)
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if visited[c] {
+				continue
+			}
+			visited[c] = true
+			perm[c] = graph.VID(next)
+			next++
+			// Push children reversed so merge order is preserved in
+			// the emitted sequence.
+			for i := len(children[c]) - 1; i >= 0; i-- {
+				stack = append(stack, children[c][i])
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !visited[v] {
+			perm[v] = graph.VID(next)
+			next++
+		}
+	}
+	return perm
+}

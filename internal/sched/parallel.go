@@ -1,0 +1,92 @@
+package sched
+
+import "sync/atomic"
+
+// defaultGrain is the default minimum number of loop iterations a
+// worker claims at once in dynamic schedules. It is large enough to
+// amortise the atomic fetch-add, small enough to load-balance the
+// skewed per-vertex work of power-law graphs.
+const defaultGrain = 1024
+
+// ForStatic splits [0, n) into one contiguous range per worker and
+// runs fn(worker, lo, hi) on each. Ranges differ in size by at most
+// one. It blocks until all workers finish. Static scheduling is used
+// where per-element work is uniform (e.g. buffer merging).
+func (p *Pool) ForStatic(n int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p.Run(func(w int) {
+		lo, hi := splitRange(n, p.workers, w)
+		if lo < hi {
+			fn(w, lo, hi)
+		}
+	})
+}
+
+// splitRange returns the w-th of p near-equal contiguous subranges
+// of [0, n).
+func splitRange(n, p, w int) (lo, hi int) {
+	q, r := n/p, n%p
+	lo = w*q + min(w, r)
+	hi = lo + q
+	if w < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// ForDynamic runs fn(worker, lo, hi) over chunks of [0, n) claimed
+// with an atomic counter (guided self-scheduling). grain is the chunk
+// size; grain <= 0 selects a default. Dynamic scheduling load-balances
+// skewed work such as per-vertex edge loops.
+func (p *Pool) ForDynamic(n, grain int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = defaultGrain
+	}
+	var next atomic.Int64
+	p.Run(func(w int) {
+		for {
+			lo := int(next.Add(int64(grain))) - grain
+			if lo >= n {
+				return
+			}
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(w, lo, hi)
+		}
+	})
+}
+
+// ForEachPart runs fn(worker, part) for every part in [0, nparts),
+// dynamically assigning parts to workers. It is used to process
+// pre-computed edge-balanced partitions: each part is claimed by
+// exactly one worker at a time, matching the paper's requirement that
+// "each thread should process only one flipped block at a time".
+func (p *Pool) ForEachPart(nparts int, fn func(worker, part int)) {
+	if nparts <= 0 {
+		return
+	}
+	var next atomic.Int64
+	p.Run(func(w int) {
+		for {
+			part := int(next.Add(1)) - 1
+			if part >= nparts {
+				return
+			}
+			fn(w, part)
+		}
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

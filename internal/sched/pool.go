@@ -1,0 +1,85 @@
+// Package sched provides the parallel-execution substrate used by all
+// graph kernels in this repository: a reusable worker pool following
+// the master-worker model of the paper's implementation, grain-based
+// parallel-for loops with static and dynamic (work-stealing) schedules,
+// and the vertex- and edge-balanced partitioners of GraphGrind
+// (Sun et al., ICS'17) used to load-balance SpMV.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed set of worker goroutines that repeatedly execute
+// parallel jobs. Reusing the same goroutines across SpMV iterations
+// avoids per-iteration spawn cost and keeps per-thread buffers
+// (the iHTL flipped-block buffers) affine to one worker.
+//
+// A Pool must be created with NewPool and released with Close.
+type Pool struct {
+	workers int
+	jobs    chan job
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+}
+
+type job struct {
+	fn   func(worker int)
+	done *sync.WaitGroup
+	id   int
+}
+
+// NewPool creates a pool with the given number of workers. If workers
+// is <= 0, runtime.GOMAXPROCS(0) workers are created.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: workers,
+		jobs:    make(chan job),
+	}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		j.fn(j.id)
+		j.done.Done()
+	}
+}
+
+// Workers reports the number of workers in the pool.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes fn once on every worker concurrently, passing each
+// worker its id in [0, Workers()), and blocks until all return.
+// It is the primitive on which the parallel-for schedules are built.
+func (p *Pool) Run(fn func(worker int)) {
+	if p.closed.Load() {
+		panic("sched: Run on closed Pool")
+	}
+	var done sync.WaitGroup
+	done.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		p.jobs <- job{fn: fn, done: &done, id: w}
+	}
+	done.Wait()
+}
+
+// Close shuts the pool down. It must not be called concurrently with
+// Run, and Run must not be called afterwards.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	close(p.jobs)
+	p.wg.Wait()
+}

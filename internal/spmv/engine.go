@@ -1,0 +1,169 @@
+// Package spmv implements the baseline graph-traversal kernels the
+// paper compares iHTL against: pull (Algorithm 1), push with atomic
+// updates, push with per-thread buffering (Algorithm 2 + the buffering
+// of X-Stream [29]), and destination-partitioned push (the
+// GraphGrind-style partitioning [35]). All kernels compute the same
+// SpMV:
+//
+//	dst[v] = Σ_{u ∈ N⁻(v)} src[u]
+//
+// over float64 vertex data (8 bytes, the paper's PageRank data size).
+// Applications (PageRank, HITS, …) layer their per-iteration scaling
+// on top of Step via the analytics package.
+package spmv
+
+import (
+	"fmt"
+
+	"ihtl/internal/graph"
+	"ihtl/internal/sched"
+)
+
+// Direction selects a traversal kernel.
+type Direction int
+
+const (
+	// Pull traverses in-edges by unique destination: random reads,
+	// sequential unsynchronised writes (Algorithm 1).
+	Pull Direction = iota
+	// PushAtomic traverses out-edges by source: sequential reads,
+	// random atomic writes (Algorithm 2 with atomics).
+	PushAtomic
+	// PushBuffered traverses out-edges by source, accumulating into
+	// full-size per-thread buffers that are merged afterwards
+	// (Algorithm 2 with X-Stream buffering).
+	PushBuffered
+	// PushPartitioned traverses pre-built destination partitions so
+	// concurrent threads never write the same vertex (Algorithm 2
+	// with GraphGrind edge partitioning by destination).
+	PushPartitioned
+)
+
+func (d Direction) String() string {
+	switch d {
+	case Pull:
+		return "pull"
+	case PushAtomic:
+		return "push-atomic"
+	case PushBuffered:
+		return "push-buffered"
+	case PushPartitioned:
+		return "push-partitioned"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Stepper is the common interface of all SpMV engines in this
+// repository, including the iHTL engine in internal/core: one Step
+// computes dst[v] = Σ src[u] over in-neighbours u for every vertex.
+type Stepper interface {
+	Step(src, dst []float64)
+	NumVertices() int
+}
+
+// Engine runs SpMV iterations in a fixed direction over a fixed graph
+// using a shared worker pool. Construction pre-allocates all
+// per-thread state so Step itself does no allocation.
+type Engine struct {
+	g    *graph.Graph
+	pool *sched.Pool
+	dir  Direction
+
+	// pullBounds are edge-balanced destination ranges for pull.
+	pullBounds []int
+	// pushBounds are edge-balanced source ranges for push variants.
+	pushBounds []int
+	// threadBufs are the per-worker accumulation buffers of
+	// PushBuffered (each NumV long).
+	threadBufs [][]float64
+	// parts is the destination-partitioned CSR of PushPartitioned.
+	parts *PushPartitions
+}
+
+// Options configures NewEngine.
+type Options struct {
+	// Parts is the number of destination partitions for
+	// PushPartitioned; <= 0 selects 4x the worker count.
+	Parts int
+}
+
+// NewEngine prepares an engine. The pool is borrowed, not owned: the
+// caller closes it.
+func NewEngine(g *graph.Graph, pool *sched.Pool, dir Direction, opt Options) (*Engine, error) {
+	if g == nil || pool == nil {
+		return nil, fmt.Errorf("spmv: nil graph or pool")
+	}
+	e := &Engine{g: g, pool: pool, dir: dir}
+	nparts := pool.Workers() * 4
+	switch dir {
+	case Pull:
+		e.pullBounds = sched.EdgeBalancedParts(g.InIndex, nparts)
+	case PushAtomic:
+		e.pushBounds = sched.EdgeBalancedParts(g.OutIndex, nparts)
+	case PushBuffered:
+		e.pushBounds = sched.EdgeBalancedParts(g.OutIndex, nparts)
+		e.threadBufs = make([][]float64, pool.Workers())
+		for w := range e.threadBufs {
+			e.threadBufs[w] = make([]float64, g.NumV)
+		}
+	case PushPartitioned:
+		p := opt.Parts
+		if p <= 0 {
+			p = nparts
+		}
+		e.parts = BuildPushPartitions(g, p)
+	default:
+		return nil, fmt.Errorf("spmv: unknown direction %d", dir)
+	}
+	return e, nil
+}
+
+// NumVertices implements Stepper.
+func (e *Engine) NumVertices() int { return e.g.NumV }
+
+// Direction reports the engine's traversal direction.
+func (e *Engine) Direction() Direction { return e.dir }
+
+// Step implements Stepper. src and dst must have length NumV and must
+// not alias.
+func (e *Engine) Step(src, dst []float64) {
+	if len(src) != e.g.NumV || len(dst) != e.g.NumV {
+		panic("spmv: vector length mismatch")
+	}
+	switch e.dir {
+	case Pull:
+		e.stepPull(src, dst)
+	case PushAtomic:
+		e.stepPushAtomic(src, dst)
+	case PushBuffered:
+		e.stepPushBuffered(src, dst)
+	case PushPartitioned:
+		e.stepPushPartitioned(src, dst)
+	}
+}
+
+// stepPull is Algorithm 1: destinations are processed in parallel over
+// edge-balanced partitions; writes need no synchronisation because
+// each destination is owned by exactly one partition.
+func (e *Engine) stepPull(src, dst []float64) {
+	g := e.g
+	nparts := len(e.pullBounds) - 1
+	e.pool.ForEachPart(nparts, func(w, part int) {
+		lo, hi := e.pullBounds[part], e.pullBounds[part+1]
+		nbrs := g.InNbrs
+		for v := lo; v < hi; v++ {
+			sum := 0.0
+			for i := g.InIndex[v]; i < g.InIndex[v+1]; i++ {
+				sum += src[nbrs[i]]
+			}
+			dst[v] = sum
+		}
+	})
+}
+
+func (e *Engine) zero(dst []float64) {
+	e.pool.ForStatic(len(dst), func(w, lo, hi int) {
+		clear(dst[lo:hi])
+	})
+}

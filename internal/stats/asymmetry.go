@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"sort"
+
+	"ihtl/internal/graph"
+)
+
+// Asymmetricity computes the paper's Figure 9 measure for vertex v:
+//
+//	Asym(v) = |{(u,v) ∈ E : (v,u) ∉ E}| / |{(u,v) ∈ E}|
+//
+// i.e. the fraction of in-neighbours that are not also out-neighbours.
+// 0 means every in-edge is reciprocated (fully symmetric, typical for
+// social-network hubs); 1 means no in-edge is reciprocated (typical
+// for web-graph in-hubs). Vertices with no in-edges return 0.
+func Asymmetricity(g *graph.Graph, v graph.VID) float64 {
+	in := g.In(v)
+	if len(in) == 0 {
+		return 0
+	}
+	out := g.Out(v)
+	// Both lists are sorted: count in-neighbours missing from out.
+	missing := 0
+	j := 0
+	for _, u := range in {
+		for j < len(out) && out[j] < u {
+			j++
+		}
+		if j >= len(out) || out[j] != u {
+			missing++
+		}
+	}
+	return float64(missing) / float64(len(in))
+}
+
+// AsymmetryBucket aggregates asymmetricity over vertices grouped by
+// in-degree (log2 buckets), reproducing the x-axis of Figure 9.
+type AsymmetryBucket struct {
+	// DegreeLo and DegreeHi bound the in-degree bucket [lo, hi).
+	DegreeLo, DegreeHi int
+	// Count is the number of vertices in the bucket.
+	Count int
+	// MeanAsymmetricity is averaged over bucket members.
+	MeanAsymmetricity float64
+}
+
+// AsymmetryByDegree computes mean asymmetricity per log2 in-degree
+// bucket (Figure 9). Zero-in-degree vertices are skipped.
+func AsymmetryByDegree(g *graph.Graph) []AsymmetryBucket {
+	type acc struct {
+		n   int
+		sum float64
+	}
+	var accs []acc
+	for v := 0; v < g.NumV; v++ {
+		d := g.InDegree(graph.VID(v))
+		if d == 0 {
+			continue
+		}
+		b := bits(d)
+		for len(accs) <= b {
+			accs = append(accs, acc{})
+		}
+		accs[b].n++
+		accs[b].sum += Asymmetricity(g, graph.VID(v))
+	}
+	out := make([]AsymmetryBucket, 0, len(accs))
+	for b, a := range accs {
+		if a.n == 0 {
+			continue
+		}
+		out = append(out, AsymmetryBucket{
+			DegreeLo:          1 << uint(b),
+			DegreeHi:          1 << uint(b+1),
+			Count:             a.n,
+			MeanAsymmetricity: a.sum / float64(a.n),
+		})
+	}
+	return out
+}
+
+// HubAsymmetricity returns the mean asymmetricity of the top-k
+// vertices by in-degree — the single number that distinguishes
+// social networks (≈0) from web graphs (≈1) in Figure 9.
+func HubAsymmetricity(g *graph.Graph, k int) float64 {
+	if k < 1 || g.NumV == 0 {
+		return 0
+	}
+	if k > g.NumV {
+		k = g.NumV
+	}
+	hubs := TopKByInDegree(g, k)
+	var sum float64
+	for _, v := range hubs {
+		sum += Asymmetricity(g, v)
+	}
+	return sum / float64(len(hubs))
+}
+
+// TopKByInDegree returns the k vertices with the largest in-degrees in
+// descending in-degree order (ties broken by smaller ID first, making
+// the result deterministic).
+func TopKByInDegree(g *graph.Graph, k int) []graph.VID {
+	if k > g.NumV {
+		k = g.NumV
+	}
+	ids := make([]graph.VID, g.NumV)
+	for v := range ids {
+		ids[v] = graph.VID(v)
+	}
+	// Selection via full sort: NumV is at most a few million in this
+	// repository, and the sort is dwarfed by graph build time.
+	sort.Slice(ids, func(i, j int) bool {
+		da, db := g.InDegree(ids[i]), g.InDegree(ids[j])
+		if da != db {
+			return da > db
+		}
+		return ids[i] < ids[j]
+	})
+	return ids[:k]
+}

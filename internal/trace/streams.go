@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"ihtl/internal/core"
+	"ihtl/internal/graph"
+)
+
+// Extractors for the RANDOM-access streams of the two traversals —
+// the accesses whose locality the paper's argument concerns. (The
+// sequential topology streams have trivial reuse behaviour and are
+// prefetch-covered; including them would only dilute the signal.)
+
+// PullRandomStream returns the cache-line stream of pull traversal's
+// random source-data reads: for each destination v in ID order, one
+// access per in-neighbour's data line (lineBytes per line,
+// vertexBytes per vertex).
+func PullRandomStream(g *graph.Graph, vertexBytes, lineBytes int) []uint64 {
+	out := make([]uint64, 0, g.NumE)
+	perLine := uint64(lineBytes / vertexBytes)
+	if perLine == 0 {
+		perLine = 1
+	}
+	for v := 0; v < g.NumV; v++ {
+		for _, u := range g.In(graph.VID(v)) {
+			out = append(out, uint64(u)/perLine)
+		}
+	}
+	return out
+}
+
+// IHTLRandomStream returns the cache-line stream of iHTL's random
+// accesses under Algorithm 3: the per-thread buffer updates of the
+// flipped blocks (hub lines, single-thread trace) followed by the
+// sparse block's random source reads. Buffer lines live in a
+// separate address region from vertex data.
+func IHTLRandomStream(ih *core.IHTL, vertexBytes, lineBytes int) []uint64 {
+	perLine := uint64(lineBytes / vertexBytes)
+	if perLine == 0 {
+		perLine = 1
+	}
+	out := make([]uint64, 0, ih.NumE)
+	// Region split: buffer lines are offset beyond all data lines.
+	bufferBase := uint64(ih.NumV)/perLine + 2
+	for b := range ih.Blocks {
+		fb := &ih.Blocks[b]
+		for s := 0; s < ih.NumPushSources(); s++ {
+			for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
+				out = append(out, bufferBase+uint64(fb.Dsts[i])/perLine)
+			}
+		}
+	}
+	sp := &ih.Sparse
+	n := ih.NumV - sp.DestLo
+	for i := 0; i < n; i++ {
+		for j := sp.Index[i]; j < sp.Index[i+1]; j++ {
+			out = append(out, uint64(sp.Srcs[j])/perLine)
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package ihtl
+
+import (
+	"fmt"
+
+	"ihtl/internal/cache"
+	"ihtl/internal/core"
+	"ihtl/internal/graph"
+	"ihtl/internal/order"
+	"ihtl/internal/spmv"
+	"ihtl/internal/stats"
+)
+
+// CacheConfig describes a simulated cache hierarchy for the locality
+// experiments (the portable stand-in for hardware counters; see
+// internal/cache).
+type CacheConfig = cache.Config
+
+// DegreeMissBucket is one point of a miss-rate-by-degree curve
+// (paper Figure 1).
+type DegreeMissBucket = spmv.DegreeMissBucket
+
+// CacheStats aggregates one simulated SpMV iteration.
+type CacheStats = spmv.SimStats
+
+// XeonCacheConfig returns the paper's evaluation-machine geometry
+// (32 KB L1 / 1 MB L2 / 22 MB L3).
+func XeonCacheConfig() CacheConfig { return cache.XeonGold6130() }
+
+// ScaledCacheConfig returns the Xeon geometry divided by factor, for
+// experiments on graphs smaller than the paper's.
+func ScaledCacheConfig(factor int) CacheConfig { return cache.Scaled(factor) }
+
+// SimulatePullLocality replays one pull-direction SpMV iteration of g
+// against the simulated hierarchy and returns aggregate stats plus the
+// per-in-degree miss-rate buckets of Figure 1.
+func SimulatePullLocality(g *Graph, cfg CacheConfig) (CacheStats, []DegreeMissBucket) {
+	return spmv.SimulatePull(g, cfg, true)
+}
+
+// SimulateIHTLLocality builds the iHTL graph (with B derived from the
+// simulated L2) and replays one Algorithm 3 iteration.
+func SimulateIHTLLocality(g *Graph, cfg CacheConfig) (CacheStats, []DegreeMissBucket, error) {
+	ih, err := core.Build(g, Params{CacheBytes: cfg.Levels[1].SizeBytes})
+	if err != nil {
+		return CacheStats{}, nil, err
+	}
+	st, buckets := core.SimulateStep(ih, g, cfg, true)
+	return st, buckets, nil
+}
+
+// ReorderAlgorithm names a baseline relabeling algorithm.
+type ReorderAlgorithm string
+
+// Baseline relabeling algorithms (paper §4.5).
+const (
+	ReorderDegree    ReorderAlgorithm = "degree"
+	ReorderSlashBurn ReorderAlgorithm = "slashburn"
+	ReorderGOrder    ReorderAlgorithm = "gorder"
+	ReorderRabbit    ReorderAlgorithm = "rabbit"
+	ReorderHubSort   ReorderAlgorithm = "hubsort"
+	ReorderVEBO      ReorderAlgorithm = "vebo"
+)
+
+// Reorder relabels g with the named algorithm and returns the
+// relabeled graph together with the permutation (newID per original
+// vertex).
+func Reorder(g *Graph, alg ReorderAlgorithm) (*Graph, []VID, error) {
+	var a order.Algorithm
+	switch alg {
+	case ReorderDegree:
+		a = order.DegreeSort{}
+	case ReorderSlashBurn:
+		a = order.SlashBurn{}
+	case ReorderGOrder:
+		a = order.GOrder{}
+	case ReorderRabbit:
+		a = order.RabbitOrder{}
+	case ReorderHubSort:
+		a = order.HubSort{}
+	case ReorderVEBO:
+		a = order.VEBO{}
+	default:
+		return nil, nil, fmt.Errorf("ihtl: unknown reorder algorithm %q", alg)
+	}
+	perm := a.Permutation(g)
+	ng, err := graph.Relabel(g, perm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ng, perm, nil
+}
+
+// RabbitSparseOrder returns a Rabbit-Order instance usable as
+// Params.SparseOrder — the paper's §6 suggestion of improving sparse-
+// block locality with community-based reordering of the non-hub
+// classes.
+func RabbitSparseOrder() core.SparseOrderer { return order.RabbitOrder{} }
+
+// HubAsymmetricity returns the mean Figure 9 asymmetricity of the
+// top-k in-degree vertices: ≈0 for social networks (reciprocal hubs),
+// ≈1 for web graphs.
+func HubAsymmetricity(g *Graph, k int) float64 {
+	return stats.HubAsymmetricity(g, k)
+}
+
+// DegreeSummary summarises a graph's in-degree distribution.
+type DegreeSummary = stats.DegreeSummary
+
+// SummarizeInDegrees computes the in-degree summary of g.
+func SummarizeInDegrees(g *Graph) DegreeSummary {
+	return stats.Summarize(g, stats.InDegree)
+}

@@ -1,0 +1,119 @@
+package ihtl_test
+
+import (
+	"testing"
+
+	"ihtl"
+)
+
+func TestLocalitySimulationAPI(t *testing.T) {
+	g, err := ihtl.GenerateWeb(30_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ihtl.ScaledCacheConfig(64)
+	pullStats, pullBuckets := ihtl.SimulatePullLocality(g, cfg)
+	if pullStats.Loads == 0 || len(pullBuckets) == 0 {
+		t.Fatal("pull simulation empty")
+	}
+	ihtlStats, ihtlBuckets, err := ihtl.SimulateIHTLLocality(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ihtlStats.Loads == 0 || len(ihtlBuckets) == 0 {
+		t.Fatal("iHTL simulation empty")
+	}
+	// The headline claim through the public API: the top-degree
+	// bucket's miss rate falls under iHTL.
+	last := func(b []ihtl.DegreeMissBucket) ihtl.DegreeMissBucket {
+		for i := len(b) - 1; i >= 0; i-- {
+			if b[i].Vertices > 0 {
+				return b[i]
+			}
+		}
+		t.Fatal("no buckets")
+		return ihtl.DegreeMissBucket{}
+	}
+	if last(ihtlBuckets).MissRate() >= last(pullBuckets).MissRate() {
+		t.Fatalf("iHTL hub miss rate %.3f not below pull %.3f",
+			last(ihtlBuckets).MissRate(), last(pullBuckets).MissRate())
+	}
+	// Xeon geometry is exported and valid.
+	if err := ihtl.XeonCacheConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReorderAPI(t *testing.T) {
+	g, err := ihtl.GenerateRMAT(9, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []ihtl.ReorderAlgorithm{
+		ihtl.ReorderDegree, ihtl.ReorderSlashBurn, ihtl.ReorderGOrder, ihtl.ReorderRabbit,
+		ihtl.ReorderHubSort, ihtl.ReorderVEBO,
+	} {
+		rg, perm, err := ihtl.Reorder(g, alg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if rg.NumV != g.NumV || rg.NumE != g.NumE || len(perm) != g.NumV {
+			t.Fatalf("%s: reorder changed shape", alg)
+		}
+		if err := rg.Validate(); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+	}
+	if _, _, err := ihtl.Reorder(g, ihtl.ReorderAlgorithm("bogus")); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+}
+
+func TestSparseOrderAPI(t *testing.T) {
+	g, err := ihtl.GenerateRMAT(9, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := ihtl.NewPool(2)
+	defer pool.Close()
+	eng, err := ihtl.NewEngine(g, pool, ihtl.Params{
+		HubsPerBlock: 32,
+		SparseOrder:  ihtl.RabbitSparseOrder(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks, err := ihtl.PageRank(eng, pool, ihtl.PageRankOptions{MaxIters: 5, Tol: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must agree with the plain engine in original ID space.
+	plain, err := ihtl.NewEngine(g, pool, ihtl.Params{HubsPerBlock: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ihtl.PageRank(plain, pool, ihtl.PageRankOptions{MaxIters: 5, Tol: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		d := ranks[v] - want[v]
+		if d > 1e-12 || d < -1e-12 {
+			t.Fatalf("SparseOrder changed results at %d", v)
+		}
+	}
+}
+
+func TestStatsAPI(t *testing.T) {
+	g, err := ihtl.GenerateWeb(10_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ihtl.SummarizeInDegrees(g)
+	if s.Max <= 0 || s.Mean <= 0 {
+		t.Fatalf("bad summary %+v", s)
+	}
+	if a := ihtl.HubAsymmetricity(g, 50); a < 0.5 {
+		t.Fatalf("web hub asymmetricity %v too low", a)
+	}
+}

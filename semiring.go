@@ -1,0 +1,116 @@
+package ihtl
+
+import (
+	"fmt"
+
+	"ihtl/internal/analytics"
+	"ihtl/internal/core"
+	"ihtl/internal/spmv"
+)
+
+// The §6 semiring analytics through the public API: shortest paths,
+// hop distances and reachability computed by iterated monoid SpMV
+// over the iHTL engine, with the relabeling handled internally so all
+// inputs and outputs use original vertex IDs.
+
+// InfDist marks unreachable vertices in distance results.
+const InfDist = analytics.InfDist
+
+// relabeled adapts an iHTL generic engine to original-ID semantics.
+type relabeled[T any] struct {
+	ih *core.IHTL
+	e  *core.GenericEngine[T]
+	ns []T
+	nd []T
+}
+
+func (r *relabeled[T]) NumVertices() int { return r.e.NumVertices() }
+
+func (r *relabeled[T]) StepMonoid(src, dst []T) {
+	n := r.e.NumVertices()
+	for v := 0; v < n; v++ {
+		r.ns[r.ih.NewID[v]] = src[v]
+	}
+	r.e.StepMonoid(r.ns, r.nd)
+	for v := 0; v < n; v++ {
+		dst[v] = r.nd[r.ih.NewID[v]]
+	}
+}
+
+func newRelabeled[T any](g *Graph, pool *Pool, p Params, m spmv.Monoid[T]) (*relabeled[T], error) {
+	ih, err := core.Build(g, p)
+	if err != nil {
+		return nil, err
+	}
+	e, err := core.NewGenericEngine(ih, pool, m)
+	if err != nil {
+		return nil, err
+	}
+	n := ih.NumV
+	return &relabeled[T]{ih: ih, e: e, ns: make([]T, n), nd: make([]T, n)}, nil
+}
+
+// ShortestPaths computes single-source shortest paths from src over
+// weight(u, v) (original IDs; must be non-negative) by iterated
+// min-plus semiring SpMV through the iHTL engine. Unreachable
+// vertices get InfDist.
+func ShortestPaths(g *Graph, pool *Pool, p Params, src VID, weight func(u, v VID) int64) ([]int64, error) {
+	if int(src) >= g.NumV {
+		return nil, fmt.Errorf("ihtl: source %d out of range", src)
+	}
+	var ihRef *core.IHTL
+	m := spmv.MinPlusInt64(func(s, d VID) int64 {
+		return weight(ihRef.OldID[s], ihRef.OldID[d])
+	})
+	r, err := newRelabeled(g, pool, p, m)
+	if err != nil {
+		return nil, err
+	}
+	ihRef = r.ih
+	sources := make([]bool, g.NumV)
+	sources[src] = true
+	return analytics.WeightedDistances(r, sources), nil
+}
+
+// HopDistances computes BFS hop distances from src by iterated min
+// SpMV through the iHTL engine.
+func HopDistances(g *Graph, pool *Pool, p Params, src VID) ([]int64, error) {
+	if int(src) >= g.NumV {
+		return nil, fmt.Errorf("ihtl: source %d out of range", src)
+	}
+	r, err := newRelabeled(g, pool, p, spmv.MinInt64())
+	if err != nil {
+		return nil, err
+	}
+	sources := make([]bool, g.NumV)
+	sources[src] = true
+	return analytics.HopDistances(r, sources), nil
+}
+
+// Reachability computes the set of vertices reachable from src by
+// iterated boolean-or SpMV through the iHTL engine.
+func Reachability(g *Graph, pool *Pool, p Params, src VID) ([]bool, error) {
+	if int(src) >= g.NumV {
+		return nil, fmt.Errorf("ihtl: source %d out of range", src)
+	}
+	r, err := newRelabeled(g, pool, p, spmv.BoolOr())
+	if err != nil {
+		return nil, err
+	}
+	sources := make([]bool, g.NumV)
+	sources[src] = true
+	return analytics.Reachable(r, sources), nil
+}
+
+// Components labels weakly connected components by iterated min-label
+// SpMV through the iHTL engine, built over the symmetrised graph.
+// The result maps each vertex to the smallest original vertex ID in
+// its component.
+func Components(g *Graph, pool *Pool, p Params) ([]VID, error) {
+	sg := analytics.Symmetrize(g)
+	r, err := newRelabeled(sg, pool, p, spmv.MinInt64())
+	if err != nil {
+		return nil, err
+	}
+	return analytics.MinLabelComponents(r), nil
+}

@@ -1,0 +1,113 @@
+package ihtl_test
+
+import (
+	"testing"
+
+	"ihtl"
+)
+
+func TestShortestPathsAPI(t *testing.T) {
+	// Weighted diamond: 0->1 (w1), 0->2 (w10), 1->3 (w1), 2->3 (w1).
+	g, err := ihtl.BuildGraph(4, []ihtl.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := ihtl.NewPool(2)
+	defer pool.Close()
+	weight := func(u, v ihtl.VID) int64 {
+		if u == 0 && v == 2 {
+			return 10
+		}
+		return 1
+	}
+	dist, err := ihtl.ShortestPaths(g, pool, ihtl.Params{HubsPerBlock: 2}, 0, weight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 1, 10, 2}
+	for v := range want {
+		if dist[v] != want[v] {
+			t.Fatalf("dist = %v, want %v", dist, want)
+		}
+	}
+	if _, err := ihtl.ShortestPaths(g, pool, ihtl.Params{}, 99, weight); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestHopAndReachabilityAPI(t *testing.T) {
+	g, err := ihtl.BuildGraph(5, []ihtl.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 3, Dst: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := ihtl.NewPool(2)
+	defer pool.Close()
+	hops, err := ihtl.HopDistances(g, pool, ihtl.Params{HubsPerBlock: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops[0] != 0 || hops[1] != 1 || hops[2] != 2 || hops[3] != ihtl.InfDist {
+		t.Fatalf("hops = %v", hops)
+	}
+	reach, err := ihtl.Reachability(g, pool, ihtl.Params{HubsPerBlock: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reach[0] || !reach[1] || !reach[2] || reach[3] || reach[4] {
+		t.Fatalf("reach = %v", reach)
+	}
+}
+
+func TestComponentsAPI(t *testing.T) {
+	g, err := ihtl.BuildGraph(6, []ihtl.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2},
+		{Src: 3, Dst: 4}, {Src: 4, Dst: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := ihtl.NewPool(2)
+	defer pool.Close()
+	cc, err := ihtl.Components(g, pool, ihtl.Params{HubsPerBlock: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 3; v++ {
+		if cc[v] != 0 {
+			t.Fatalf("cc = %v", cc)
+		}
+	}
+	for v := 3; v < 6; v++ {
+		if cc[v] != 3 {
+			t.Fatalf("cc = %v", cc)
+		}
+	}
+}
+
+func TestShortestPathsOnPowerLawGraph(t *testing.T) {
+	g, err := ihtl.GenerateRMAT(9, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := ihtl.NewPool(2)
+	defer pool.Close()
+	unit := func(u, v ihtl.VID) int64 { return 1 }
+	dist, err := ihtl.ShortestPaths(g, pool, ihtl.Params{HubsPerBlock: 32}, 0, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops, err := ihtl.HopDistances(g, pool, ihtl.Params{HubsPerBlock: 32}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unit-weight shortest paths ARE hop distances.
+	for v := range dist {
+		if dist[v] != hops[v] {
+			t.Fatalf("unit-weight dist[%d]=%d != hops %d", v, dist[v], hops[v])
+		}
+	}
+}
