@@ -318,6 +318,54 @@ func BenchmarkAblationAtomicFlipped(b *testing.B) {
 	}
 }
 
+// BenchmarkStepPipeline ablates the fused single-dispatch Step
+// against the pre-fusion three-dispatch pipeline, at a small scale
+// where per-dispatch overhead dominates and at a large scale where
+// edge traversal does. 8 workers matches the paper-style setup; the
+// PageRank variants measure full application iterations (Step plus
+// the fused element-wise epilogue).
+func BenchmarkStepPipeline(b *testing.B) {
+	pool := sched.NewPool(8)
+	defer pool.Close()
+	for _, sc := range []struct {
+		name  string
+		scale int
+	}{{"scale10", 10}, {"scale12", 12}, {"scale18", 18}} {
+		g, err := gen.RMAT(gen.DefaultRMAT(sc.scale, 16, 77))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ih, err := core.Build(g, core.Params{HubsPerBlock: 2048})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []struct {
+			name   string
+			phased bool
+		}{{"fused", false}, {"phased", true}} {
+			e, err := core.NewEngineOpts(ih, pool, core.EngineOptions{Phased: mode.phased})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(sc.name+"/step-"+mode.name, func(b *testing.B) {
+				benchStepper(b, g, e)
+			})
+			deg := make([]int, g.NumV)
+			for nv := range deg {
+				deg[nv] = g.OutDegree(ih.OldID[nv])
+			}
+			b.Run(sc.name+"/pagerank-"+mode.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := analytics.RunPageRank(e, deg, pool,
+						analytics.PageRankOptions{MaxIters: 5, Tol: -1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblationBlockThreshold ablates §3.3's 50% FV admission
 // threshold (DESIGN.md ablation 2).
 func BenchmarkAblationBlockThreshold(b *testing.B) {

@@ -88,7 +88,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := analytics.RunHITS(fwd, rev, analytics.HITSOptions{MaxIters: *iters})
+		res, err := analytics.RunHITS(fwd, rev, analytics.HITSOptions{MaxIters: *iters, Pool: pool})
 		if err != nil {
 			fatal(err)
 		}

@@ -27,6 +27,7 @@ func main() {
 		iters    = flag.Int("iters", 8, "timed iterations per measurement")
 		list     = flag.Bool("list", false, "list experiments and datasets, then exit")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		stepjson = flag.String("stepjson", "", "measure per-kernel step times and write them as JSON to this path (e.g. results/BENCH_step.json), then exit")
 	)
 	flag.Parse()
 
@@ -60,6 +61,18 @@ func main() {
 	env.Iters = *iters
 	env.Out = os.Stdout
 	env.CSV = *csv
+
+	if *stepjson != "" {
+		rep, err := bench.RunStepJSON(env, selected)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteStepJSON(*stepjson, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d measurements to %s\n", len(rep.Results), *stepjson)
+		return
+	}
 
 	var err error
 	if *exp == "all" {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"ihtl/internal/sched"
 	"ihtl/internal/spmv"
 )
 
@@ -14,6 +15,10 @@ type HITSOptions struct {
 	// Tol stops when both score vectors' L1 deltas fall below it;
 	// 0 selects 1e-9.
 	Tol float64
+	// Pool parallelises the O(n) normalisation and delta sweeps; nil
+	// runs them sequentially. Each normalisation is a single fused
+	// dispatch (partial square-sums, a spin barrier, then scaling).
+	Pool *sched.Pool
 }
 
 // HITSResult carries the converged authority and hub scores.
@@ -52,14 +57,13 @@ func RunHITS(fwd, rev spmv.Stepper, opt HITSOptions) (HITSResult, error) {
 	if n == 0 {
 		return res, nil
 	}
+	nrm := newNormalizer(opt.Pool)
 	for iter := 0; iter < opt.MaxIters; iter++ {
 		fwd.Step(hub, newAuth) // a = Aᵀ h
-		normalize(newAuth)
+		nrm.normalize(newAuth)
 		rev.Step(newAuth, newHub) // h = A a
-		normalize(newHub)
-		delta := l1Delta(auth, newAuth) + l1Delta(hub, newHub)
-		copy(auth, newAuth)
-		copy(hub, newHub)
+		nrm.normalize(newHub)
+		delta := nrm.deltaAndCopy(auth, newAuth) + nrm.deltaAndCopy(hub, newHub)
 		res.Iters = iter + 1
 		if delta < opt.Tol {
 			break
@@ -68,7 +72,55 @@ func RunHITS(fwd, rev spmv.Stepper, opt HITSOptions) (HITSResult, error) {
 	return res, nil
 }
 
-func normalize(v []float64) {
+// normalizer scales vectors to unit L2 norm, on a pool when one is
+// available. The parallel path is ONE dispatch: each worker computes
+// the square-sum of its static range, crosses a spin barrier, and
+// scales the same range by the combined norm — no second dispatch for
+// the scaling pass.
+type normalizer struct {
+	pool    *sched.Pool
+	barrier *sched.Barrier
+	partial []float64
+}
+
+func newNormalizer(pool *sched.Pool) *normalizer {
+	nrm := &normalizer{pool: pool}
+	if pool != nil {
+		nrm.barrier = sched.NewBarrier(pool.Workers())
+		nrm.partial = make([]float64, pool.Workers())
+	}
+	return nrm
+}
+
+func (nrm *normalizer) normalize(v []float64) {
+	if nrm.pool == nil || len(v) < len(nrm.partial) {
+		normalizeSeq(v)
+		return
+	}
+	nrm.pool.Run(func(w int) {
+		lo, hi := sched.SplitRange(len(v), nrm.pool.Workers(), w)
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += v[i] * v[i]
+		}
+		nrm.partial[w] = sum
+		nrm.barrier.Wait()
+		norm := 0.0
+		for _, p := range nrm.partial {
+			norm += p
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return
+		}
+		inv := 1 / norm
+		for i := lo; i < hi; i++ {
+			v[i] *= inv
+		}
+	})
+}
+
+func normalizeSeq(v []float64) {
 	var norm float64
 	for _, x := range v {
 		norm += x * x
@@ -77,15 +129,33 @@ func normalize(v []float64) {
 	if norm == 0 {
 		return
 	}
+	inv := 1 / norm
 	for i := range v {
-		v[i] /= norm
+		v[i] *= inv
 	}
 }
 
-func l1Delta(a, b []float64) float64 {
-	d := 0.0
-	for i := range a {
-		d += math.Abs(a[i] - b[i])
+// deltaAndCopy returns Σ|a[i]-b[i]| and copies b into a, in one sweep.
+func (nrm *normalizer) deltaAndCopy(a, b []float64) float64 {
+	if nrm.pool == nil || len(a) < len(nrm.partial) {
+		d := 0.0
+		for i := range a {
+			d += math.Abs(a[i] - b[i])
+			a[i] = b[i]
+		}
+		return d
 	}
-	return d
+	nrm.pool.ForStatic(len(a), func(w, lo, hi int) {
+		d := 0.0
+		for i := lo; i < hi; i++ {
+			d += math.Abs(a[i] - b[i])
+			a[i] = b[i]
+		}
+		nrm.partial[w] = d
+	})
+	delta := 0.0
+	for _, d := range nrm.partial {
+		delta += d
+	}
+	return delta
 }

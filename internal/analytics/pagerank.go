@@ -80,57 +80,91 @@ func RunPageRank(e spmv.Stepper, outDeg []int, pool *sched.Pool, opt PageRankOpt
 	ranks := make([]float64, n)
 	contrib := make([]float64, n)
 	sums := make([]float64, n)
-	for v := range ranks {
-		ranks[v] = 1 / float64(n)
-	}
 	base := (1 - o.Damping) / float64(n)
 
-	forRange := func(fn func(lo, hi int)) {
-		if pool == nil {
-			fn(0, n)
-			return
+	// Preamble sweep: initial ranks, the contributions they push in
+	// iteration 0, and the initial dangling mass.
+	var dangling float64
+	init := 1 / float64(n)
+	for v := 0; v < n; v++ {
+		ranks[v] = init
+		contrib[v] = init * invDeg[v]
+		if o.RedistributeDangling && outDeg[v] == 0 {
+			dangling += init
 		}
-		pool.ForStatic(n, func(w, lo, hi int) { fn(lo, hi) })
+	}
+
+	// Per iteration, everything element-wise runs as the Step's
+	// epilogue: apply damping, accumulate the L1 delta, compute the
+	// contributions the next Step will push, and collect the next
+	// iteration's dangling mass — instead of separate contribution
+	// and update sweeps before and after every Step. On a fused
+	// stepper (core.Engine) the epilogue executes inside the Step's
+	// own dispatch, making a whole PageRank iteration one pool
+	// round-trip; otherwise it is one extra dispatch.
+	//
+	// extra is read by the epilogue workers; the orchestrator writes
+	// it before each dispatch, which orders the write.
+	var extra float64
+	body := func(lo, hi int) (delta, dangl float64) {
+		for v := lo; v < hi; v++ {
+			nv := base + o.Damping*sums[v] + extra
+			delta += math.Abs(nv - ranks[v])
+			ranks[v] = nv
+			contrib[v] = nv * invDeg[v]
+			if o.RedistributeDangling && outDeg[v] == 0 {
+				dangl += nv
+			}
+		}
+		return delta, dangl
+	}
+
+	fe, fused := e.(fusedStepper)
+	workers := 0
+	switch {
+	case fused:
+		workers = fe.Workers()
+	case pool != nil:
+		workers = pool.Workers()
+	}
+	var deltaParts, danglingParts []float64
+	var epi func(w, lo, hi int)
+	var poolEpi func(w int)
+	if workers > 0 {
+		deltaParts = make([]float64, workers)
+		danglingParts = make([]float64, workers)
+		// Every worker writes its slot each dispatch (an empty range
+		// stores zeros), so no stale partials survive an iteration.
+		epi = func(w, lo, hi int) {
+			deltaParts[w], danglingParts[w] = body(lo, hi)
+		}
+		if !fused {
+			poolEpi = func(w int) {
+				lo, hi := sched.SplitRange(n, workers, w)
+				epi(w, lo, hi)
+			}
+		}
 	}
 
 	res := PageRankResult{Ranks: ranks}
 	for iter := 0; iter < o.MaxIters; iter++ {
-		var dangling float64
-		if o.RedistributeDangling {
-			for v := 0; v < n; v++ {
-				if outDeg[v] == 0 {
-					dangling += ranks[v]
-				}
-			}
-		}
-		forRange(func(lo, hi int) {
-			for v := lo; v < hi; v++ {
-				contrib[v] = ranks[v] * invDeg[v]
-			}
-		})
-		e.Step(contrib, sums)
-		extra := o.Damping * dangling / float64(n)
-		// Delta accumulation is cheap; do it in the same sweep.
+		extra = o.Damping * dangling / float64(n)
 		var delta float64
-		if pool == nil {
-			for v := 0; v < n; v++ {
-				nv := base + o.Damping*sums[v] + extra
-				delta += math.Abs(nv - ranks[v])
-				ranks[v] = nv
-			}
-		} else {
-			partial := make([]float64, pool.Workers())
-			pool.ForStatic(n, func(w, lo, hi int) {
-				d := 0.0
-				for v := lo; v < hi; v++ {
-					nv := base + o.Damping*sums[v] + extra
-					d += math.Abs(nv - ranks[v])
-					ranks[v] = nv
-				}
-				partial[w] += d
-			})
-			for _, d := range partial {
-				delta += d
+		switch {
+		case fused:
+			fe.StepEpi(contrib, sums, epi)
+		case pool != nil:
+			e.Step(contrib, sums)
+			pool.Run(poolEpi)
+		default:
+			e.Step(contrib, sums)
+			delta, dangling = body(0, n)
+		}
+		if workers > 0 {
+			delta, dangling = 0, 0
+			for w := range deltaParts {
+				delta += deltaParts[w]
+				dangling += danglingParts[w]
 			}
 		}
 		res.Iters = iter + 1
@@ -140,6 +174,15 @@ func RunPageRank(e spmv.Stepper, outDeg []int, pool *sched.Pool, opt PageRankOpt
 		}
 	}
 	return res, nil
+}
+
+// fusedStepper is the optional Stepper extension core.Engine provides:
+// Step plus an epilogue every worker runs over its share of [0, n)
+// once dst is complete, fused into the Step's own dispatch.
+type fusedStepper interface {
+	spmv.Stepper
+	StepEpi(src, dst []float64, epi func(w, lo, hi int))
+	Workers() int
 }
 
 // SumRanks returns the total rank mass (≈1 when dangling mass is

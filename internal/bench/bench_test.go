@@ -2,6 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -96,6 +99,54 @@ func TestRunAllExperimentsOnSmallData(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("RunAll output missing %q", want)
 		}
+	}
+}
+
+func TestStepJSONRoundTrip(t *testing.T) {
+	env, _ := smallEnv(t)
+	d := SmallRegistry()[0]
+	rep, err := RunStepJSON(env, []*Dataset{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernels := StepKernels()
+	if len(rep.Results) != len(kernels) {
+		t.Fatalf("%d results, want one per kernel (%d)", len(rep.Results), len(kernels))
+	}
+	for i, r := range rep.Results {
+		if r.Kernel != kernels[i] {
+			t.Fatalf("result %d is kernel %q, want %q", i, r.Kernel, kernels[i])
+		}
+		if r.Dataset != d.Name || r.Edges <= 0 || r.NsPerStep <= 0 || r.NsPerEdge <= 0 {
+			t.Fatalf("implausible measurement: %+v", r)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "results", "BENCH_step.json")
+	if err := WriteStepJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back StepReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Workers != env.Pool.Workers() || len(back.Results) != len(rep.Results) {
+		t.Fatalf("report changed in round trip: %+v", back)
+	}
+}
+
+func TestStepJSONUnknownKernel(t *testing.T) {
+	env, _ := smallEnv(t)
+	d := SmallRegistry()[0]
+	g, err := d.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stepEngine(env, g, "simd"); err == nil {
+		t.Fatal("unknown kernel accepted")
 	}
 }
 

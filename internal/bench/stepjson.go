@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"ihtl/internal/core"
+	"ihtl/internal/graph"
+	"ihtl/internal/spmv"
+)
+
+// StepKernels lists the kernel IDs RunStepJSON measures, in report
+// order: the four baseline traversal engines, the fused Algorithm 3
+// engine, and its pre-fusion phased ablation.
+func StepKernels() []string {
+	return []string{
+		"pull", "push-atomic", "push-buffered", "push-partitioned",
+		"ihtl-fused", "ihtl-phased",
+	}
+}
+
+// StepResult is one (dataset, kernel) measurement.
+type StepResult struct {
+	Dataset   string  `json:"dataset"`
+	Kernel    string  `json:"kernel"`
+	Vertices  int     `json:"vertices"`
+	Edges     int64   `json:"edges"`
+	NsPerStep int64   `json:"ns_per_step"`
+	NsPerEdge float64 `json:"ns_per_edge"`
+}
+
+// StepReport is the machine-readable per-kernel step-time report;
+// WriteStepJSON serialises it (conventionally to
+// results/BENCH_step.json) for tracking across commits.
+type StepReport struct {
+	Workers    int          `json:"workers"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Iters      int          `json:"iters"`
+	Results    []StepResult `json:"results"`
+}
+
+// RunStepJSON measures the average SpMV step time of every kernel in
+// StepKernels on each dataset, normalised per edge.
+func RunStepJSON(env *Env, datasets []*Dataset) (*StepReport, error) {
+	rep := &StepReport{
+		Workers:    env.Pool.Workers(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Iters:      env.Iters,
+	}
+	for _, d := range datasets {
+		g, err := d.Load()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", d.Name, err)
+		}
+		for _, kernel := range StepKernels() {
+			e, err := stepEngine(env, g, kernel)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", d.Name, kernel, err)
+			}
+			ns := stepTime(e, env.Iters).Nanoseconds()
+			rep.Results = append(rep.Results, StepResult{
+				Dataset:   d.Name,
+				Kernel:    kernel,
+				Vertices:  g.NumV,
+				Edges:     g.NumE,
+				NsPerStep: ns,
+				NsPerEdge: float64(ns) / float64(g.NumE),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// stepEngine builds the named kernel's engine for g.
+func stepEngine(env *Env, g *graph.Graph, kernel string) (spmv.Stepper, error) {
+	switch kernel {
+	case "pull":
+		return spmv.NewEngine(g, env.Pool, spmv.Pull, spmv.Options{})
+	case "push-atomic":
+		return spmv.NewEngine(g, env.Pool, spmv.PushAtomic, spmv.Options{})
+	case "push-buffered":
+		return spmv.NewEngine(g, env.Pool, spmv.PushBuffered, spmv.Options{})
+	case "push-partitioned":
+		return spmv.NewEngine(g, env.Pool, spmv.PushPartitioned, spmv.Options{})
+	case "ihtl-fused", "ihtl-phased":
+		ih, err := core.Build(g, env.ihtlParams())
+		if err != nil {
+			return nil, err
+		}
+		return core.NewEngineOpts(ih, env.Pool,
+			core.EngineOptions{Phased: kernel == "ihtl-phased"})
+	default:
+		return nil, fmt.Errorf("bench: unknown step kernel %q", kernel)
+	}
+}
+
+// WriteStepJSON writes the report as indented JSON, creating the
+// target directory if needed.
+func WriteStepJSON(path string, rep *StepReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -12,6 +12,15 @@ import (
 // flipped blocks into per-thread hub buffers, merge the buffers, then
 // pull the sparse block. It implements spmv.Stepper.
 //
+// By default the three phases run as a SINGLE fused pool dispatch:
+// workers claim flipped tasks and sparse partitions with range
+// stealing, and each flipped block's merge is gated only on that
+// block's completion counter — not on a global barrier. This is safe
+// because the destinations are disjoint: merges write dst[0, NumHubs)
+// and the sparse pull writes dst[DestLo, NumV). The pre-fusion
+// three-dispatch pipeline remains available via EngineOptions.Phased
+// for ablation.
+//
 // The engine operates in iHTL (relabeled) vertex-ID space; use
 // IHTL.NewID/OldID or the PermuteToNew/PermuteToOld helpers to move
 // vectors between ID spaces.
@@ -19,6 +28,7 @@ type Engine struct {
 	ih            *IHTL
 	pool          *sched.Pool
 	atomicFlipped bool
+	phased        bool
 
 	// bufs[w] is worker w's private accumulation buffer over all
 	// hubs — "each thread buffers B * #fb vertex data" (§3.4). With
@@ -26,11 +36,48 @@ type Engine struct {
 	bufs [][]float64
 	// blockTasks are (block, source-chunk) pairs; a worker claims one
 	// at a time, so it processes a single flipped block at a time as
-	// §3.4 requires.
+	// §3.4 requires. Tasks are ordered by block, so the contiguous
+	// ranges handed out by the steal scheduler keep a worker inside
+	// one block's buffer as long as possible.
 	blockTasks []blockTask
+	// tasksPerBlock[b] is the number of blockTasks targeting block b;
+	// it arms the per-block completion counters each Step.
+	tasksPerBlock []int
+	// emptyBlocks lists blocks with no tasks at all; their hub slots
+	// still need zeroing each fused Step.
+	emptyBlocks []int
 	// sparseBounds are edge-balanced destination ranges of the
 	// sparse block.
 	sparseBounds []int
+
+	// Fused-dispatch state. flipSched and sparseSched are persistent
+	// per-engine steal schedulers (allocated once, Reset per Step);
+	// blockGate holds one countdown latch per flipped block; dirty
+	// tracks, per (worker, block), the hub range the worker actually
+	// touched so merges read only buffers that were written.
+	flipSched   *sched.StealScheduler
+	sparseSched *sched.StealScheduler
+	blockGate   *sched.Countdowns
+	dirty       []dirtyRange // indexed worker*len(Blocks)+block
+	// hubClearBounds and clearBarrier serve the AtomicFlipped fused
+	// path: workers cooperatively zero the hub slots, cross the
+	// barrier, then push with CAS.
+	hubClearBounds []int
+	clearBarrier   *sched.Barrier
+	// fusedJob is the prebuilt worker body (capturing only e), so a
+	// fused Step allocates nothing; curSrc/curDst stage its vectors.
+	fusedJob       func(w int)
+	curSrc, curDst []float64
+	// StepEpi state: the staged epilogue, the barrier its workers
+	// cross once dst is complete, and the prebuilt dispatch body the
+	// phased pipeline runs it under.
+	curEpi       func(w, lo, hi int)
+	epiBarrier   *sched.Barrier
+	phasedEpiJob func(w int)
+
+	// clocks accumulate per-worker busy time per phase, cache-line
+	// padded so the frequent updates don't false-share.
+	clocks []workerClock
 
 	breakdown Breakdown
 }
@@ -38,25 +85,122 @@ type Engine struct {
 type blockTask struct {
 	block  int
 	lo, hi int // source range
+	// dLo, dHi bound the hub IDs this task's edges can write
+	// (precomputed at build). Tracking the dirty range per task
+	// instead of per edge keeps the push inner loop identical to the
+	// phased pipeline's; the range is conservative (a source with a
+	// zero value still widens it), which is sound because untouched
+	// buffer slots hold the additive identity.
+	dLo, dHi int
 }
 
-// Breakdown accumulates wall-clock time per Algorithm 3 phase across
-// Steps; Table 5's "FB Time" and "Buffer Merging" columns divide
-// these by the total.
+// buildBlockTasks cuts each flipped block into edge-balanced source
+// chunks — tasks — and precomputes each task's hub destination range.
+// It also returns the task count per block (arming the fused merge
+// countdowns) and the blocks with no tasks at all, whose hub slots
+// must still be initialised each Step.
+func buildBlockTasks(ih *IHTL, chunksPerBlock int) (tasks []blockTask, perBlock, empty []int) {
+	perBlock = make([]int, len(ih.Blocks))
+	for b := range ih.Blocks {
+		fb := &ih.Blocks[b]
+		if fb.NumEdges() == 0 {
+			empty = append(empty, b)
+			continue
+		}
+		bounds := sched.EdgeBalancedParts(fb.Index, chunksPerBlock)
+		for c := 0; c < len(bounds)-1; c++ {
+			lo, hi := bounds[c], bounds[c+1]
+			if lo >= hi {
+				continue
+			}
+			t := blockTask{block: b, lo: lo, hi: hi}
+			for i := fb.Index[lo]; i < fb.Index[hi]; i++ {
+				d := int(fb.Dsts[i])
+				if t.dHi == t.dLo { // first edge
+					t.dLo, t.dHi = d, d+1
+					continue
+				}
+				if d < t.dLo {
+					t.dLo = d
+				}
+				if d+1 > t.dHi {
+					t.dHi = d + 1
+				}
+			}
+			tasks = append(tasks, t)
+			perBlock[b]++
+		}
+		if perBlock[b] == 0 {
+			empty = append(empty, b)
+		}
+	}
+	return tasks, perBlock, empty
+}
+
+// dirtyRange is a half-open hub interval; empty when hi <= lo.
+type dirtyRange struct {
+	lo, hi int
+}
+
+// workerClock is one worker's per-phase busy time, padded to a cache
+// line.
+type workerClock struct {
+	flipped time.Duration
+	merge   time.Duration
+	sparse  time.Duration
+	_       [5]int64
+}
+
+// Breakdown accumulates time per Algorithm 3 phase across Steps;
+// Table 5's "FB Time" and "Buffer Merging" columns divide these by the
+// total.
+//
+// Two views are kept. The *busy* fields sum, over workers, the time
+// each worker actually spent executing a phase; the fused pipeline
+// records them, since fused phases have no wall-clock boundaries to
+// time. The *wall* fields (Flipped/Merge/Sparse) are the elapsed time
+// of each barriered phase and are only recorded by the phased
+// pipeline, whose barriers define them; they include the barrier wait
+// behind the slowest worker. Wall is the elapsed time of whole Steps
+// (including any fused StepEpi epilogue) under either pipeline, so
+// the phase columns never double-count it.
 type Breakdown struct {
-	Flipped time.Duration
-	Merge   time.Duration
-	Sparse  time.Duration
-	Steps   int
+	Flipped time.Duration // phased only: elapsed flipped phase
+	Merge   time.Duration // phased only: elapsed merge phase
+	Sparse  time.Duration // phased only: elapsed sparse phase
+
+	FlippedBusy time.Duration // Σ workers' in-phase busy time
+	MergeBusy   time.Duration
+	SparseBusy  time.Duration
+
+	Wall  time.Duration // elapsed time of all Steps
+	Steps int
 }
 
-// Total returns the summed phase time.
-func (b Breakdown) Total() time.Duration { return b.Flipped + b.Merge + b.Sparse }
+// Total returns the elapsed time of all Steps: the measured wall time
+// when available, otherwise the summed phase walls.
+func (b Breakdown) Total() time.Duration {
+	if b.Wall > 0 {
+		return b.Wall
+	}
+	return b.Flipped + b.Merge + b.Sparse
+}
+
+// TotalBusy returns the summed per-worker busy time across phases.
+func (b Breakdown) TotalBusy() time.Duration {
+	return b.FlippedBusy + b.MergeBusy + b.SparseBusy
+}
 
 // FlippedFrac returns the fraction of time spent pushing flipped
-// blocks (0 when no Steps ran).
+// blocks (0 when no Steps ran). Busy time is preferred — it is
+// attributable under fusion and does not double-count scheduler idle
+// time; the wall split is the fallback for breakdowns recorded by
+// older phased-only runs.
 func (b Breakdown) FlippedFrac() float64 {
-	if t := b.Total(); t > 0 {
+	if t := b.TotalBusy(); t > 0 {
+		return float64(b.FlippedBusy) / float64(t)
+	}
+	if t := b.Flipped + b.Merge + b.Sparse; t > 0 {
 		return float64(b.Flipped) / float64(t)
 	}
 	return 0
@@ -64,7 +208,10 @@ func (b Breakdown) FlippedFrac() float64 {
 
 // MergeFrac returns the fraction of time spent merging buffers.
 func (b Breakdown) MergeFrac() float64 {
-	if t := b.Total(); t > 0 {
+	if t := b.TotalBusy(); t > 0 {
+		return float64(b.MergeBusy) / float64(t)
+	}
+	if t := b.Flipped + b.Merge + b.Sparse; t > 0 {
 		return float64(b.Merge) / float64(t)
 	}
 	return 0
@@ -77,6 +224,11 @@ type EngineOptions struct {
 	// paper chose buffering "as it is more efficient in the setting
 	// of iHTL" (§3.4); this option exists to ablate that choice.
 	AtomicFlipped bool
+	// Phased selects the pre-fusion pipeline — three barriered pool
+	// dispatches per Step (flipped, merge, sparse) with an
+	// O(workers x NumHubs) merge sweep — for ablating the fused
+	// single-dispatch pipeline.
+	Phased bool
 }
 
 // NewEngine prepares an Algorithm 3 engine on the given pool with
@@ -90,7 +242,7 @@ func NewEngineOpts(ih *IHTL, pool *sched.Pool, opt EngineOptions) (*Engine, erro
 	if ih == nil || pool == nil {
 		return nil, fmt.Errorf("core: nil IHTL or pool")
 	}
-	e := &Engine{ih: ih, pool: pool, atomicFlipped: opt.AtomicFlipped}
+	e := &Engine{ih: ih, pool: pool, atomicFlipped: opt.AtomicFlipped, phased: opt.Phased}
 	if !e.atomicFlipped {
 		e.bufs = make([][]float64, pool.Workers())
 		for w := range e.bufs {
@@ -99,24 +251,36 @@ func NewEngineOpts(ih *IHTL, pool *sched.Pool, opt EngineOptions) (*Engine, erro
 	}
 	// Edge-balanced source chunks per flipped block: the per-block
 	// CSR index arrays give exact per-source edge counts.
-	chunksPerBlock := pool.Workers() * 4
-	for b := range ih.Blocks {
-		fb := &ih.Blocks[b]
-		if fb.NumEdges() == 0 {
-			continue
-		}
-		bounds := sched.EdgeBalancedParts(fb.Index, chunksPerBlock)
-		for c := 0; c < len(bounds)-1; c++ {
-			if bounds[c] < bounds[c+1] {
-				e.blockTasks = append(e.blockTasks, blockTask{block: b, lo: bounds[c], hi: bounds[c+1]})
-			}
-		}
-	}
+	e.blockTasks, e.tasksPerBlock, e.emptyBlocks = buildBlockTasks(ih, pool.Workers()*4)
 	if n := ih.NumV - ih.Sparse.DestLo; n > 0 {
 		e.sparseBounds = sched.EdgeBalancedParts(ih.Sparse.Index, pool.Workers()*4)
 	}
+	w := pool.Workers()
+	e.flipSched = sched.NewStealScheduler(w)
+	e.sparseSched = sched.NewStealScheduler(w)
+	e.blockGate = sched.NewCountdowns(len(ih.Blocks))
+	e.dirty = make([]dirtyRange, w*len(ih.Blocks))
+	e.clocks = make([]workerClock, w)
+	if e.atomicFlipped && ih.NumHubs > 0 {
+		e.hubClearBounds = sched.VertexBalancedParts(ih.NumHubs, w)
+		e.clearBarrier = sched.NewBarrier(w)
+	}
+	if e.atomicFlipped {
+		e.fusedJob = e.fusedWorkerAtomic
+	} else {
+		e.fusedJob = e.fusedWorkerBuffered
+	}
+	e.epiBarrier = sched.NewBarrier(w)
+	e.phasedEpiJob = func(worker int) {
+		lo, hi := sched.SplitRange(e.ih.NumV, e.pool.Workers(), worker)
+		e.curEpi(worker, lo, hi)
+	}
 	return e, nil
 }
+
+// Workers returns the worker count of the engine's pool — the number
+// of distinct worker indices a StepEpi epilogue can observe.
+func (e *Engine) Workers() int { return e.pool.Workers() }
 
 // NumVertices implements spmv.Stepper.
 func (e *Engine) NumVertices() int { return e.ih.NumV }
@@ -133,11 +297,268 @@ func (e *Engine) TakeBreakdown() Breakdown {
 
 // Step computes dst[v] = Σ_{u ∈ N⁻(v)} src[u] in iHTL ID space.
 // src and dst must have length NumV and must not alias.
-func (e *Engine) Step(src, dst []float64) {
+func (e *Engine) Step(src, dst []float64) { e.StepEpi(src, dst, nil) }
+
+// StepEpi is Step followed by an element-wise epilogue: every worker
+// runs epi(w, lo, hi) over its static share [lo, hi) of [0, NumV)
+// once all of dst is complete. Under the fused pipeline the epilogue
+// runs INSIDE the same dispatch, behind an internal barrier, so a
+// whole analytic iteration — SpMV plus e.g. PageRank's damping/delta/
+// contribution sweep — costs a single pool round-trip. The phased
+// pipeline runs it as a separate dispatch. epi may be nil.
+func (e *Engine) StepEpi(src, dst []float64, epi func(w, lo, hi int)) {
 	ih := e.ih
 	if len(src) != ih.NumV || len(dst) != ih.NumV {
 		panic("core: vector length mismatch")
 	}
+	if e.phased {
+		e.stepPhased(src, dst)
+		if epi != nil {
+			start := time.Now()
+			e.curEpi = epi
+			e.pool.Run(e.phasedEpiJob)
+			e.curEpi = nil
+			e.breakdown.Wall += time.Since(start)
+		}
+	} else {
+		e.curEpi = epi
+		e.stepFused(src, dst)
+		e.curEpi = nil
+	}
+	e.breakdown.Steps++
+}
+
+// stepFused runs all of Algorithm 3 as one pool dispatch; see
+// fusedWorkerBuffered for the worker body.
+func (e *Engine) stepFused(src, dst []float64) {
+	start := time.Now()
+	e.flipSched.Reset(len(e.blockTasks))
+	if n := len(e.sparseBounds) - 1; n > 0 {
+		e.sparseSched.Reset(n)
+	}
+	if !e.atomicFlipped {
+		e.blockGate.Reset(e.tasksPerBlock)
+	}
+	e.curSrc, e.curDst = src, dst
+	e.pool.Run(e.fusedJob)
+	e.curSrc, e.curDst = nil, nil
+	e.breakdown.Wall += time.Since(start)
+	e.harvestClocks()
+}
+
+// fusedWorkerBuffered is one worker's share of a fused buffered Step:
+//
+//  1. claim flipped tasks by range stealing, accumulating into the
+//     worker's private hub buffer and widening the dirty hub range
+//     per block by the task's precomputed destination bounds;
+//  2. whenever a task completes its block (per-block countdown), merge
+//     that block immediately — only buffers with non-empty dirty
+//     ranges are read, and the hub slots are owned exclusively because
+//     every task of the block has finished;
+//  3. when no flipped work remains anywhere, claim sparse partitions
+//     by range stealing and pull them;
+//  4. if a StepEpi epilogue is staged, cross the epilogue barrier and
+//     run the worker's share of it.
+//
+// No phase barrier exists between 1-3: a worker can be pulling sparse
+// partitions while another still pushes a flipped block, because their
+// dst ranges are disjoint ([0, NumHubs) vs [DestLo, NumV)).
+//
+// Phase clocks are read once per loop, not per task: flipped busy time
+// is the whole claim loop (steal overhead included) minus the merges
+// nested inside it.
+func (e *Engine) fusedWorkerBuffered(w int) {
+	ih := e.ih
+	src, dst := e.curSrc, e.curDst
+	t0 := time.Now()
+	if w == 0 {
+		// Blocks with no edges are never merged; their hub slots are
+		// still SpMV outputs (sums over zero terms) and must be zeroed.
+		for _, b := range e.emptyBlocks {
+			fb := &ih.Blocks[b]
+			clear(dst[fb.HubLo:fb.HubHi])
+		}
+	}
+	nb := len(ih.Blocks)
+	buf := e.bufs[w]
+	var mergeTime time.Duration
+	for {
+		lo, hi, ok := e.flipSched.Next(w, 1)
+		if !ok {
+			break
+		}
+		for ti := lo; ti < hi; ti++ {
+			bt := &e.blockTasks[ti]
+			fb := &ih.Blocks[bt.block]
+			dsts := fb.Dsts
+			for s := bt.lo; s < bt.hi; s++ {
+				x := src[s]
+				if x == 0 {
+					continue
+				}
+				for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
+					buf[dsts[i]] += x
+				}
+			}
+			if bt.dHi > bt.dLo {
+				dr := &e.dirty[w*nb+bt.block]
+				if dr.hi <= dr.lo {
+					dr.lo, dr.hi = bt.dLo, bt.dHi
+				} else {
+					if bt.dLo < dr.lo {
+						dr.lo = bt.dLo
+					}
+					if bt.dHi > dr.hi {
+						dr.hi = bt.dHi
+					}
+				}
+			}
+			if e.blockGate.Done(bt.block) {
+				tm := time.Now()
+				e.mergeBlock(bt.block, dst)
+				mergeTime += time.Since(tm)
+			}
+		}
+	}
+	t1 := time.Now()
+	e.sparseWorker(w, src, dst)
+	t2 := time.Now()
+	clk := &e.clocks[w]
+	clk.flipped += t1.Sub(t0) - mergeTime
+	clk.merge += mergeTime
+	clk.sparse += t2.Sub(t1)
+	e.runEpilogue(w)
+}
+
+// runEpilogue crosses the epilogue barrier and runs the worker's share
+// of a staged StepEpi epilogue; a no-op when none is staged. The
+// barrier is required because the epilogue may read any dst element,
+// while phases 1-3 only guarantee completion of the whole vector at
+// dispatch end.
+func (e *Engine) runEpilogue(w int) {
+	if e.curEpi == nil {
+		return
+	}
+	e.epiBarrier.Wait()
+	lo, hi := sched.SplitRange(e.ih.NumV, len(e.clocks), w)
+	e.curEpi(w, lo, hi)
+}
+
+// mergeBlock folds every worker's dirty hub range of block b into dst
+// and resets the consumed buffer slots. The caller must hold the
+// block's completion (its countdown reached zero), which makes the
+// buffer slots and dirty entries of b stable and the hub range
+// exclusively owned. Merge cost is proportional to the hub ranges
+// actually written, not workers x NumHubs.
+func (e *Engine) mergeBlock(b int, dst []float64) {
+	fb := &e.ih.Blocks[b]
+	clear(dst[fb.HubLo:fb.HubHi])
+	nb := len(e.ih.Blocks)
+	for t := range e.bufs {
+		dr := &e.dirty[t*nb+b]
+		if dr.hi <= dr.lo {
+			continue
+		}
+		buf := e.bufs[t]
+		for h := dr.lo; h < dr.hi; h++ {
+			dst[h] += buf[h]
+			buf[h] = 0
+		}
+		dr.lo, dr.hi = 0, 0
+	}
+}
+
+// fusedWorkerAtomic is the AtomicFlipped ablation's fused worker:
+// cooperative hub zeroing, a spin barrier (CAS pushes must not start
+// before every hub slot is cleared), stolen flipped tasks with CAS
+// updates, then the sparse pull.
+func (e *Engine) fusedWorkerAtomic(w int) {
+	ih := e.ih
+	src, dst := e.curSrc, e.curDst
+	clk := &e.clocks[w]
+	if ih.NumHubs > 0 {
+		t0 := time.Now()
+		clear(dst[e.hubClearBounds[w]:e.hubClearBounds[w+1]])
+		clk.merge += time.Since(t0)
+		e.clearBarrier.Wait()
+	}
+	t1 := time.Now() // after the barrier: waiting is not busy time
+	for {
+		lo, hi, ok := e.flipSched.Next(w, 1)
+		if !ok {
+			break
+		}
+		for ti := lo; ti < hi; ti++ {
+			bt := &e.blockTasks[ti]
+			fb := &ih.Blocks[bt.block]
+			dsts := fb.Dsts
+			for s := bt.lo; s < bt.hi; s++ {
+				x := src[s]
+				if x == 0 {
+					continue
+				}
+				for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
+					spmv.AtomicAddFloat64(&dst[dsts[i]], x)
+				}
+			}
+		}
+	}
+	t2 := time.Now()
+	e.sparseWorker(w, src, dst)
+	t3 := time.Now()
+	clk.flipped += t2.Sub(t1)
+	clk.sparse += t3.Sub(t2)
+	e.runEpilogue(w)
+}
+
+// sparseWorker drains the sparse-block pull via range stealing over
+// the precomputed edge-balanced partitions. The caller times the whole
+// drain.
+func (e *Engine) sparseWorker(w int, src, dst []float64) {
+	nparts := len(e.sparseBounds) - 1
+	if nparts <= 0 {
+		return
+	}
+	sp := &e.ih.Sparse
+	for {
+		lo, hi, ok := e.sparseSched.Next(w, 1)
+		if !ok {
+			return
+		}
+		for p := lo; p < hi; p++ {
+			vlo, vhi := e.sparseBounds[p], e.sparseBounds[p+1]
+			for i := vlo; i < vhi; i++ {
+				sum := 0.0
+				for j := sp.Index[i]; j < sp.Index[i+1]; j++ {
+					sum += src[sp.Srcs[j]]
+				}
+				dst[sp.DestLo+i] = sum
+			}
+		}
+	}
+}
+
+// harvestClocks folds the per-worker phase clocks into the breakdown
+// and resets them. Called after the dispatch completes, so no worker
+// is concurrently writing.
+func (e *Engine) harvestClocks() {
+	for w := range e.clocks {
+		c := &e.clocks[w]
+		e.breakdown.FlippedBusy += c.flipped
+		e.breakdown.MergeBusy += c.merge
+		e.breakdown.SparseBusy += c.sparse
+		*c = workerClock{}
+	}
+}
+
+// stepPhased is the pre-fusion pipeline: three barriered dispatches
+// with a full O(workers x NumHubs) merge sweep. Kept selectable for
+// ablating the fused pipeline (EngineOptions.Phased). It records the
+// phase walls its barriers define instead of per-worker busy time —
+// the same figures the pipeline produced before fusion, without
+// per-task clock reads distorting what it ablates.
+func (e *Engine) stepPhased(src, dst []float64) {
+	ih := e.ih
 
 	// Phase 1 — push traversal of the flipped blocks (Alg. 3 l.1-4).
 	t0 := time.Now()
@@ -148,7 +569,7 @@ func (e *Engine) Step(src, dst []float64) {
 			clear(dst[lo:hi])
 		})
 		e.pool.ForEachPart(len(e.blockTasks), func(w, task int) {
-			bt := e.blockTasks[task]
+			bt := &e.blockTasks[task]
 			fb := &ih.Blocks[bt.block]
 			dsts := fb.Dsts
 			for s := bt.lo; s < bt.hi; s++ {
@@ -163,7 +584,7 @@ func (e *Engine) Step(src, dst []float64) {
 		})
 	} else {
 		e.pool.ForEachPart(len(e.blockTasks), func(w, task int) {
-			bt := e.blockTasks[task]
+			bt := &e.blockTasks[task]
 			fb := &ih.Blocks[bt.block]
 			buf := e.bufs[w]
 			dsts := fb.Dsts
@@ -219,7 +640,7 @@ func (e *Engine) Step(src, dst []float64) {
 	e.breakdown.Flipped += t1.Sub(t0)
 	e.breakdown.Merge += t2.Sub(t1)
 	e.breakdown.Sparse += t3.Sub(t2)
-	e.breakdown.Steps++
+	e.breakdown.Wall += t3.Sub(t0)
 }
 
 // PermuteToNew scatters a vector indexed by original IDs into iHTL ID

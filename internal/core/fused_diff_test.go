@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"ihtl/internal/gen"
+	"ihtl/internal/graph"
+	"ihtl/internal/sched"
+	"ihtl/internal/spmv"
+	"ihtl/internal/xrand"
+)
+
+// The differential tests below pin the fused single-dispatch pipeline
+// to the phased three-dispatch pipeline and to the spmv.Pull baseline
+// BIT-FOR-BIT. Exact float equality across schedules is only
+// meaningful when every partial sum is exact, so sources are small
+// integer-valued floats: all sums stay integers far below 2^53 and
+// addition is associative, making the result independent of task→
+// worker assignment, merge order, and buffer skipping.
+func integerVec(seed uint64, n int) []float64 {
+	rng := xrand.New(seed)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(rng.Uint64n(8))
+	}
+	return v
+}
+
+func diffGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	gs := map[string]*graph.Graph{"paper": graph.PaperExample()}
+	cfg := gen.DefaultRMAT(9, 8, 42)
+	cfg.Reciprocity = 0.6
+	rm, err := gen.RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs["rmat"] = rm
+	web, err := gen.Web(gen.DefaultWeb(3000, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs["web"] = web
+	return gs
+}
+
+// stepOldSpace runs one Step of an iHTL engine with old-ID-space
+// vectors, permuting in and out.
+func stepOldSpace(ih *IHTL, e *Engine, srcOld []float64) []float64 {
+	n := ih.NumV
+	srcNew := make([]float64, n)
+	dstNew := make([]float64, n)
+	ih.PermuteToNew(srcOld, srcNew)
+	e.Step(srcNew, dstNew)
+	dstOld := make([]float64, n)
+	ih.PermuteToOld(dstNew, dstOld)
+	return dstOld
+}
+
+// TestStepDifferentialFusedPhasedPull checks that the fused pipeline,
+// the phased pipeline, the AtomicFlipped ablation of each, and the
+// spmv.Pull baseline produce bit-identical dst vectors across graphs
+// and worker counts.
+func TestStepDifferentialFusedPhasedPull(t *testing.T) {
+	workerCounts := []int{1, 3, runtime.GOMAXPROCS(0)}
+	for name, g := range diffGraphs(t) {
+		src := integerVec(1234, g.NumV)
+		var want []float64 // pull result of the first pool; all must match it
+		for _, workers := range workerCounts {
+			t.Run(fmt.Sprintf("%s/w%d", name, workers), func(t *testing.T) {
+				pool := sched.NewPool(workers)
+				defer pool.Close()
+
+				pe, err := spmv.NewEngine(g, pool, spmv.Pull, spmv.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				pullDst := make([]float64, g.NumV)
+				pe.Step(src, pullDst)
+				if want == nil {
+					want = pullDst
+				} else {
+					requireBitIdentical(t, "pull-across-workers", want, pullDst)
+				}
+
+				ih, err := Build(g, Params{HubsPerBlock: 64})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, opt := range []EngineOptions{
+					{},
+					{Phased: true},
+					{AtomicFlipped: true},
+					{AtomicFlipped: true, Phased: true},
+				} {
+					e, err := NewEngineOpts(ih, pool, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := stepOldSpace(ih, e, src)
+					label := fmt.Sprintf("phased=%v atomic=%v", opt.Phased, opt.AtomicFlipped)
+					requireBitIdentical(t, label, want, got)
+					// A second Step re-using the engine must be just as
+					// exact: it proves buffers, dirty ranges, and gates
+					// were left clean by the first fused iteration.
+					got2 := stepOldSpace(ih, e, src)
+					requireBitIdentical(t, label+" (second step)", want, got2)
+				}
+			})
+		}
+	}
+}
+
+func requireBitIdentical(t *testing.T, label string, want, got []float64) {
+	t.Helper()
+	for v := range want {
+		if math.Float64bits(want[v]) != math.Float64bits(got[v]) {
+			t.Fatalf("%s: vertex %d: got %v want %v (bits %x vs %x)",
+				label, v, got[v], want[v],
+				math.Float64bits(got[v]), math.Float64bits(want[v]))
+		}
+	}
+}
+
+// FuzzStepDifferential drives the same differential property from
+// fuzzed R-MAT seeds and scales.
+func FuzzStepDifferential(f *testing.F) {
+	f.Add(uint64(1), uint8(6))
+	f.Add(uint64(99), uint8(8))
+	f.Add(uint64(7), uint8(5))
+	pool := sched.NewPool(3)
+	f.Cleanup(pool.Close)
+	f.Fuzz(func(t *testing.T, seed uint64, scale uint8) {
+		if scale < 4 || scale > 9 {
+			t.Skip()
+		}
+		g, err := gen.RMAT(gen.DefaultRMAT(int(scale), 6, seed|1))
+		if err != nil {
+			t.Skip()
+		}
+		src := integerVec(seed, g.NumV)
+		pe, err := spmv.NewEngine(g, pool, spmv.Pull, spmv.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]float64, g.NumV)
+		pe.Step(src, want)
+
+		ih, err := Build(g, Params{HubsPerBlock: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused, err := NewEngine(ih, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireBitIdentical(t, "fused", want, stepOldSpace(ih, fused, src))
+		phased, err := NewEngineOpts(ih, pool, EngineOptions{Phased: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireBitIdentical(t, "phased", want, stepOldSpace(ih, phased, src))
+	})
+}
+
+// TestFusedStepAllocationFree pins the fused pipeline's zero-allocation
+// steady state: after construction, Steps allocate nothing — no
+// per-dispatch scheduler, no closures, no WaitGroups.
+func TestFusedStepAllocationFree(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(9, 8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ih, err := Build(g, Params{HubsPerBlock: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(ih, testPool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := integerVec(3, g.NumV)
+	dst := make([]float64, g.NumV)
+	for i := 0; i < 3; i++ { // warm worker stacks
+		e.Step(src, dst)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { e.Step(src, dst) }); allocs != 0 {
+		t.Errorf("fused Step allocates %.1f objects per run, want 0", allocs)
+	}
+}

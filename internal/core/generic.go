@@ -13,14 +13,29 @@ import (
 // the label-propagation step of connected components, with min-plus
 // relaxations SSSP rounds, with boolean-or reachability — each with
 // flipped-block locality for the in-hubs.
+//
+// Like the float64 Engine, a StepMonoid is one fused pool dispatch:
+// stolen flipped tasks, per-block countdown-gated merges over dirty
+// hub ranges, then the sparse pull — no inter-phase barriers. The
+// merge may skip buffers a worker never touched because
+// Combine(acc, Identity) == acc.
 type GenericEngine[T any] struct {
 	ih   *IHTL
 	pool *sched.Pool
 	m    spmv.Monoid[T]
 
-	bufs         [][]T
-	blockTasks   []blockTask
-	sparseBounds []int
+	bufs          [][]T
+	blockTasks    []blockTask
+	tasksPerBlock []int
+	emptyBlocks   []int
+	sparseBounds  []int
+
+	flipSched      *sched.StealScheduler
+	sparseSched    *sched.StealScheduler
+	blockGate      *sched.Countdowns
+	dirty          []dirtyRange
+	fusedJob       func(w int)
+	curSrc, curDst []T
 }
 
 // NewGenericEngine prepares a monoid Algorithm 3 engine.
@@ -40,22 +55,16 @@ func NewGenericEngine[T any](ih *IHTL, pool *sched.Pool, m spmv.Monoid[T]) (*Gen
 		}
 		e.bufs[w] = buf
 	}
-	chunksPerBlock := pool.Workers() * 4
-	for b := range ih.Blocks {
-		fb := &ih.Blocks[b]
-		if fb.NumEdges() == 0 {
-			continue
-		}
-		bounds := sched.EdgeBalancedParts(fb.Index, chunksPerBlock)
-		for c := 0; c < len(bounds)-1; c++ {
-			if bounds[c] < bounds[c+1] {
-				e.blockTasks = append(e.blockTasks, blockTask{block: b, lo: bounds[c], hi: bounds[c+1]})
-			}
-		}
-	}
+	e.blockTasks, e.tasksPerBlock, e.emptyBlocks = buildBlockTasks(ih, pool.Workers()*4)
 	if n := ih.NumV - ih.Sparse.DestLo; n > 0 {
 		e.sparseBounds = sched.EdgeBalancedParts(ih.Sparse.Index, pool.Workers()*4)
 	}
+	w := pool.Workers()
+	e.flipSched = sched.NewStealScheduler(w)
+	e.sparseSched = sched.NewStealScheduler(w)
+	e.blockGate = sched.NewCountdowns(len(ih.Blocks))
+	e.dirty = make([]dirtyRange, w*len(ih.Blocks))
+	e.fusedJob = e.fusedWorker
 	return e, nil
 }
 
@@ -65,46 +74,88 @@ func (e *GenericEngine[T]) NumVertices() int { return e.ih.NumV }
 // StepMonoid implements spmv.GenericStepper over iHTL IDs.
 func (e *GenericEngine[T]) StepMonoid(src, dst []T) {
 	ih := e.ih
-	m := e.m
 	if len(src) != ih.NumV || len(dst) != ih.NumV {
 		panic("core: vector length mismatch")
 	}
-	// Phase 1: push flipped blocks into per-worker monoid buffers.
-	e.pool.ForEachPart(len(e.blockTasks), func(w, task int) {
-		bt := e.blockTasks[task]
-		fb := &ih.Blocks[bt.block]
-		buf := e.bufs[w]
-		dsts := fb.Dsts
-		for s := bt.lo; s < bt.hi; s++ {
-			lo, hi := fb.Index[s], fb.Index[s+1]
-			if lo == hi {
-				continue
-			}
-			x := src[s]
-			for i := lo; i < hi; i++ {
-				d := dsts[i]
-				buf[d] = m.Combine(buf[d], m.Apply(x, graph.VID(s), d))
-			}
-		}
-	})
-	// Phase 2: merge and reset buffers.
-	bufs := e.bufs
-	e.pool.ForStatic(ih.NumHubs, func(w, lo, hi int) {
-		for h := lo; h < hi; h++ {
-			acc := m.Identity
-			for t := range bufs {
-				acc = m.Combine(acc, bufs[t][h])
-				bufs[t][h] = m.Identity
-			}
-			dst[h] = acc
-		}
-	})
-	// Phase 3: pull the sparse block.
-	sp := &ih.Sparse
+	e.flipSched.Reset(len(e.blockTasks))
 	if n := len(e.sparseBounds) - 1; n > 0 {
-		e.pool.ForEachPart(n, func(w, part int) {
-			lo, hi := e.sparseBounds[part], e.sparseBounds[part+1]
-			for i := lo; i < hi; i++ {
+		e.sparseSched.Reset(n)
+	}
+	e.blockGate.Reset(e.tasksPerBlock)
+	e.curSrc, e.curDst = src, dst
+	e.pool.Run(e.fusedJob)
+	e.curSrc, e.curDst = nil, nil
+}
+
+// fusedWorker mirrors Engine.fusedWorkerBuffered for an arbitrary
+// monoid: stolen flipped tasks accumulate into the worker's private
+// buffer with dirty-range tracking, the block's last finisher merges
+// it, and exhausted workers move straight on to the sparse pull.
+func (e *GenericEngine[T]) fusedWorker(w int) {
+	ih := e.ih
+	m := e.m
+	src, dst := e.curSrc, e.curDst
+	if w == 0 {
+		for _, b := range e.emptyBlocks {
+			fb := &ih.Blocks[b]
+			for h := fb.HubLo; h < fb.HubHi; h++ {
+				dst[h] = m.Identity
+			}
+		}
+	}
+	nb := len(ih.Blocks)
+	buf := e.bufs[w]
+	for {
+		lo, hi, ok := e.flipSched.Next(w, 1)
+		if !ok {
+			break
+		}
+		for ti := lo; ti < hi; ti++ {
+			bt := &e.blockTasks[ti]
+			fb := &ih.Blocks[bt.block]
+			dsts := fb.Dsts
+			for s := bt.lo; s < bt.hi; s++ {
+				elo, ehi := fb.Index[s], fb.Index[s+1]
+				if elo == ehi {
+					continue
+				}
+				x := src[s]
+				for i := elo; i < ehi; i++ {
+					d := dsts[i]
+					buf[d] = m.Combine(buf[d], m.Apply(x, graph.VID(s), d))
+				}
+			}
+			if bt.dHi > bt.dLo {
+				dr := &e.dirty[w*nb+bt.block]
+				if dr.hi <= dr.lo {
+					dr.lo, dr.hi = bt.dLo, bt.dHi
+				} else {
+					if bt.dLo < dr.lo {
+						dr.lo = bt.dLo
+					}
+					if bt.dHi > dr.hi {
+						dr.hi = bt.dHi
+					}
+				}
+			}
+			if e.blockGate.Done(bt.block) {
+				e.mergeBlock(bt.block, dst)
+			}
+		}
+	}
+	// Sparse pull; dst range disjoint from every merge.
+	sp := &ih.Sparse
+	if len(e.sparseBounds) < 2 {
+		return
+	}
+	for {
+		lo, hi, ok := e.sparseSched.Next(w, 1)
+		if !ok {
+			return
+		}
+		for p := lo; p < hi; p++ {
+			vlo, vhi := e.sparseBounds[p], e.sparseBounds[p+1]
+			for i := vlo; i < vhi; i++ {
 				acc := m.Identity
 				d := graph.VID(sp.DestLo + i)
 				for j := sp.Index[i]; j < sp.Index[i+1]; j++ {
@@ -113,6 +164,30 @@ func (e *GenericEngine[T]) StepMonoid(src, dst []T) {
 				}
 				dst[sp.DestLo+i] = acc
 			}
-		})
+		}
+	}
+}
+
+// mergeBlock folds the dirty hub ranges of block b into dst and resets
+// the consumed buffer slots to Identity. Skipping untouched buffers is
+// sound because Combine(acc, Identity) == acc.
+func (e *GenericEngine[T]) mergeBlock(b int, dst []T) {
+	m := e.m
+	fb := &e.ih.Blocks[b]
+	for h := fb.HubLo; h < fb.HubHi; h++ {
+		dst[h] = m.Identity
+	}
+	nb := len(e.ih.Blocks)
+	for t := range e.bufs {
+		dr := &e.dirty[t*nb+b]
+		if dr.hi <= dr.lo {
+			continue
+		}
+		buf := e.bufs[t]
+		for h := dr.lo; h < dr.hi; h++ {
+			dst[h] = m.Combine(dst[h], buf[h])
+			buf[h] = m.Identity
+		}
+		dr.lo, dr.hi = 0, 0
 	}
 }

@@ -58,7 +58,9 @@ func TestIHTLSerializeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src := randomVec(3, g.NumV)
+	// Integer-valued sources keep the sums exact, so the comparison is
+	// independent of the dynamic task→worker schedule of each run.
+	src := integerVec(3, g.NumV)
 	d1 := make([]float64, g.NumV)
 	d2 := make([]float64, g.NumV)
 	eOrig.Step(src, d1)

@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// The fused-region primitives below let an engine run what used to be
+// several barriered Pool dispatches as ONE dispatch: workers
+// synchronise inside the parallel region with a spin barrier or with
+// per-item completion counters, paying nanoseconds of shared-counter
+// traffic instead of a channel send + WaitGroup round-trip per worker
+// per phase.
+
+// Barrier is a reusable sense-reversing spin barrier for exactly N
+// participants. It is intended for short intra-dispatch phase
+// boundaries inside a Pool.Run region, where every pool worker is a
+// participant; unlike sync.WaitGroup it involves no channel traffic
+// and can be crossed an arbitrary number of times per region.
+type Barrier struct {
+	n       int64
+	arrived atomic.Int64
+	sense   atomic.Uint64
+}
+
+// NewBarrier creates a barrier for n participants.
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("sched: barrier needs >= 1 participant")
+	}
+	return &Barrier{n: int64(n)}
+}
+
+// Wait blocks until all n participants have called Wait, then releases
+// them all. The barrier is immediately reusable for the next phase.
+func (b *Barrier) Wait() {
+	gen := b.sense.Load()
+	if b.arrived.Add(1) == b.n {
+		// Last arriver: reset the count for the next generation, then
+		// release. Spinners only touch sense, so the order is safe.
+		b.arrived.Store(0)
+		b.sense.Add(1)
+		return
+	}
+	for b.sense.Load() == gen {
+		runtime.Gosched()
+	}
+}
+
+// Countdowns is a set of atomic countdown latches, one per item. The
+// fused iHTL Step uses one latch per flipped block: every task of the
+// block decrements it on completion, and the worker whose decrement
+// reaches zero knows all buffer contributions for the block are
+// visible (atomic decrements give acquire/release ordering) and merges
+// it — the only gating the merge needs, instead of a full barrier
+// between the push and merge phases.
+type Countdowns struct {
+	counts []atomic.Int64
+}
+
+// NewCountdowns creates n latches, all at zero; call Reset before use.
+func NewCountdowns(n int) *Countdowns {
+	return &Countdowns{counts: make([]atomic.Int64, n)}
+}
+
+// Len returns the number of latches.
+func (c *Countdowns) Len() int { return len(c.counts) }
+
+// Reset arms every latch with its count from per (len(per) must equal
+// Len). It must not race with Done.
+func (c *Countdowns) Reset(per []int) {
+	if len(per) != len(c.counts) {
+		panic("sched: Countdowns.Reset length mismatch")
+	}
+	for i, n := range per {
+		c.counts[i].Store(int64(n))
+	}
+}
+
+// Done records one completion against latch i and reports whether this
+// call released it (brought it exactly to zero). Everything written by
+// goroutines whose Done calls preceded the releasing one
+// happens-before the release, per the Go memory model's atomics
+// guarantee.
+func (c *Countdowns) Done(i int) bool {
+	return c.counts[i].Add(-1) == 0
+}

@@ -24,6 +24,11 @@ func (p *Pool) ForStatic(n int, fn func(worker, lo, hi int)) {
 	})
 }
 
+// SplitRange returns the w-th of p near-equal contiguous subranges of
+// [0, n) — the static split ForStatic uses, exported for callers that
+// partition work inside a fused Pool.Run region.
+func SplitRange(n, p, w int) (lo, hi int) { return splitRange(n, p, w) }
+
 // splitRange returns the w-th of p near-equal contiguous subranges
 // of [0, n).
 func splitRange(n, p, w int) (lo, hi int) {

@@ -2,8 +2,10 @@
 // graph kernels in this repository: a reusable worker pool following
 // the master-worker model of the paper's implementation, grain-based
 // parallel-for loops with static and dynamic (work-stealing) schedules,
-// and the vertex- and edge-balanced partitioners of GraphGrind
-// (Sun et al., ICS'17) used to load-balance SpMV.
+// the vertex- and edge-balanced partitioners of GraphGrind
+// (Sun et al., ICS'17) used to load-balance SpMV, and the fused-region
+// primitives (Barrier, Countdowns) that let an engine run a multi-phase
+// iteration as a single pool dispatch.
 package sched
 
 import (
@@ -18,17 +20,35 @@ import (
 // (the iHTL flipped-block buffers) affine to one worker.
 //
 // A Pool must be created with NewPool and released with Close.
+// Dispatches (Run and every parallel-for built on it) must come from a
+// single orchestrating goroutine at a time: the pool reuses one
+// completion WaitGroup and one steal scheduler across dispatches so
+// that steady-state dispatch is allocation-free.
 type Pool struct {
 	workers int
 	jobs    chan job
 	wg      sync.WaitGroup
 	closed  atomic.Bool
+
+	// done is the reusable completion barrier of the current dispatch.
+	done sync.WaitGroup
+	// steal is the reusable scheduler behind ForSteal (engines that
+	// need several schedulers in one fused region hold their own and
+	// use ForStealWith).
+	steal *StealScheduler
 }
 
+// job is one worker's share of a dispatch. fn != nil selects a plain
+// run; otherwise the worker drains rangeFn over chunks claimed from
+// steal — keeping the claim loop in the worker avoids allocating a
+// closure per steal dispatch.
 type job struct {
-	fn   func(worker int)
-	done *sync.WaitGroup
-	id   int
+	fn      func(worker int)
+	steal   *StealScheduler
+	grain   int
+	rangeFn func(worker, lo, hi int)
+	done    *sync.WaitGroup
+	id      int
 }
 
 // NewPool creates a pool with the given number of workers. If workers
@@ -40,6 +60,7 @@ func NewPool(workers int) *Pool {
 	p := &Pool{
 		workers: workers,
 		jobs:    make(chan job),
+		steal:   NewStealScheduler(workers),
 	}
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -51,7 +72,17 @@ func NewPool(workers int) *Pool {
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for j := range p.jobs {
-		j.fn(j.id)
+		if j.fn != nil {
+			j.fn(j.id)
+		} else {
+			for {
+				lo, hi, ok := j.steal.Next(j.id, j.grain)
+				if !ok {
+					break
+				}
+				j.rangeFn(j.id, lo, hi)
+			}
+		}
 		j.done.Done()
 	}
 }
@@ -63,15 +94,21 @@ func (p *Pool) Workers() int { return p.workers }
 // worker its id in [0, Workers()), and blocks until all return.
 // It is the primitive on which the parallel-for schedules are built.
 func (p *Pool) Run(fn func(worker int)) {
+	p.dispatch(job{fn: fn})
+}
+
+// dispatch fans the job template out to every worker and waits.
+func (p *Pool) dispatch(tmpl job) {
 	if p.closed.Load() {
 		panic("sched: Run on closed Pool")
 	}
-	var done sync.WaitGroup
-	done.Add(p.workers)
+	tmpl.done = &p.done
+	p.done.Add(p.workers)
 	for w := 0; w < p.workers; w++ {
-		p.jobs <- job{fn: fn, done: &done, id: w}
+		tmpl.id = w
+		p.jobs <- tmpl
 	}
-	done.Wait()
+	p.done.Wait()
 }
 
 // Close shuts the pool down. It must not be called concurrently with

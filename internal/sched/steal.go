@@ -115,23 +115,28 @@ func (s *StealScheduler) steal(worker, victim int) bool {
 }
 
 // ForSteal runs fn(worker, lo, hi) over [0, n) using work stealing
-// with the given chunk grain (<=0 selects a default).
+// with the given chunk grain (<=0 selects a default). It reuses the
+// pool's preallocated scheduler, so steady-state calls allocate
+// nothing; engines that interleave several steal loops in one fused
+// region must hold their own schedulers and use ForStealWith.
 func (p *Pool) ForSteal(n, grain int, fn func(worker, lo, hi int)) {
+	p.ForStealWith(p.steal, n, grain, fn)
+}
+
+// ForStealWith is ForSteal over a caller-owned scheduler, created once
+// with NewStealScheduler(pool.Workers()) and reused across calls. The
+// scheduler is Reset here; the claim loop runs inside the pool workers
+// themselves, so the call allocates nothing.
+func (p *Pool) ForStealWith(s *StealScheduler, n, grain int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	if grain <= 0 {
 		grain = defaultGrain
 	}
-	s := NewStealScheduler(p.workers)
+	if len(s.ranges) != p.workers {
+		panic("sched: StealScheduler sized for a different worker count")
+	}
 	s.Reset(n)
-	p.Run(func(w int) {
-		for {
-			lo, hi, ok := s.Next(w, grain)
-			if !ok {
-				return
-			}
-			fn(w, lo, hi)
-		}
-	})
+	p.dispatch(job{steal: s, grain: grain, rangeFn: fn})
 }

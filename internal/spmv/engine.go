@@ -79,6 +79,12 @@ type Engine struct {
 	threadBufs [][]float64
 	// parts is the destination-partitioned CSR of PushPartitioned.
 	parts *PushPartitions
+	// partSched is the persistent range-stealing scheduler that claims
+	// partitions each Step: workers start on contiguous partition
+	// ranges (good spatial locality on the CSR offsets) and steal from
+	// the most loaded peer, instead of serialising every claim through
+	// one shared fetch-add counter.
+	partSched *sched.StealScheduler
 }
 
 // Options configures NewEngine.
@@ -116,7 +122,18 @@ func NewEngine(g *graph.Graph, pool *sched.Pool, dir Direction, opt Options) (*E
 	default:
 		return nil, fmt.Errorf("spmv: unknown direction %d", dir)
 	}
+	e.partSched = sched.NewStealScheduler(pool.Workers())
 	return e, nil
+}
+
+// forParts runs fn over every partition index in [0, nparts) using the
+// engine's persistent steal scheduler.
+func (e *Engine) forParts(nparts int, fn func(worker, part int)) {
+	e.pool.ForStealWith(e.partSched, nparts, 1, func(w, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			fn(w, p)
+		}
+	})
 }
 
 // NumVertices implements Stepper.
@@ -149,7 +166,7 @@ func (e *Engine) Step(src, dst []float64) {
 func (e *Engine) stepPull(src, dst []float64) {
 	g := e.g
 	nparts := len(e.pullBounds) - 1
-	e.pool.ForEachPart(nparts, func(w, part int) {
+	e.forParts(nparts, func(w, part int) {
 		lo, hi := e.pullBounds[part], e.pullBounds[part+1]
 		nbrs := g.InNbrs
 		for v := lo; v < hi; v++ {

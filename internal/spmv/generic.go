@@ -114,6 +114,9 @@ type GenericEngine[T any] struct {
 	push   bool
 	bounds []int
 	bufs   [][]T
+	// partSched claims partitions by range stealing (see
+	// Engine.partSched); persistent so Steps allocate nothing.
+	partSched *sched.StealScheduler
 }
 
 // NewGenericEngine prepares a monoid engine over g. push selects the
@@ -136,7 +139,18 @@ func NewGenericEngine[T any](g *graph.Graph, pool *sched.Pool, m Monoid[T], push
 	} else {
 		e.bounds = sched.EdgeBalancedParts(g.InIndex, pool.Workers()*4)
 	}
+	e.partSched = sched.NewStealScheduler(pool.Workers())
 	return e, nil
+}
+
+// forParts runs fn over every partition index using the persistent
+// steal scheduler.
+func (e *GenericEngine[T]) forParts(nparts int, fn func(worker, part int)) {
+	e.pool.ForStealWith(e.partSched, nparts, 1, func(w, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			fn(w, p)
+		}
+	})
 }
 
 // NumVertices implements GenericStepper.
@@ -157,7 +171,7 @@ func (e *GenericEngine[T]) StepMonoid(src, dst []T) {
 func (e *GenericEngine[T]) stepPullMonoid(src, dst []T) {
 	g := e.g
 	m := e.m
-	e.pool.ForEachPart(len(e.bounds)-1, func(w, part int) {
+	e.forParts(len(e.bounds)-1, func(w, part int) {
 		lo, hi := e.bounds[part], e.bounds[part+1]
 		for v := lo; v < hi; v++ {
 			acc := m.Identity
@@ -179,7 +193,7 @@ func (e *GenericEngine[T]) stepPushMonoid(src, dst []T) {
 			buf[i] = m.Identity
 		}
 	})
-	e.pool.ForEachPart(len(e.bounds)-1, func(w, part int) {
+	e.forParts(len(e.bounds)-1, func(w, part int) {
 		buf := e.bufs[w]
 		lo, hi := e.bounds[part], e.bounds[part+1]
 		for v := lo; v < hi; v++ {

@@ -131,7 +131,7 @@ func quickSortVIDs(v []graph.VID) {
 func (e *Engine) stepPushPartitioned(src, dst []float64) {
 	e.zero(dst)
 	pp := e.parts
-	e.pool.ForEachPart(pp.NumParts(), func(w, p int) {
+	e.forParts(pp.NumParts(), func(w, p int) {
 		part := &pp.Parts[p]
 		for i, u := range part.Srcs {
 			x := src[u]

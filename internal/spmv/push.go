@@ -26,7 +26,7 @@ func (e *Engine) stepPushAtomic(src, dst []float64) {
 	e.zero(dst)
 	g := e.g
 	nparts := len(e.pushBounds) - 1
-	e.pool.ForEachPart(nparts, func(w, part int) {
+	e.forParts(nparts, func(w, part int) {
 		lo, hi := e.pushBounds[part], e.pushBounds[part+1]
 		nbrs := g.OutNbrs
 		for v := lo; v < hi; v++ {
@@ -56,7 +56,7 @@ func (e *Engine) stepPushBuffered(src, dst []float64) {
 		clear(e.threadBufs[w])
 	})
 	nparts := len(e.pushBounds) - 1
-	e.pool.ForEachPart(nparts, func(w, part int) {
+	e.forParts(nparts, func(w, part int) {
 		buf := e.threadBufs[w]
 		lo, hi := e.pushBounds[part], e.pushBounds[part+1]
 		nbrs := g.OutNbrs
