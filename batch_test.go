@@ -1,0 +1,107 @@
+package ihtl_test
+
+import (
+	"math"
+	"testing"
+
+	"ihtl"
+)
+
+func TestPublicAPIBatchFlow(t *testing.T) {
+	g, err := ihtl.GenerateRMAT(10, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := ihtl.NewPool(4)
+	defer pool.Close()
+
+	const k = 4
+	eng, err := ihtl.NewBatchEngine(g, pool, ihtl.Params{HubsPerBlock: 256}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ih := eng.IHTL()
+
+	// Pack K copies of the same dense vector; every lane of the batched
+	// step must then equal one scalar Step.
+	dense := make([]float64, g.NumV)
+	for v := range dense {
+		dense[v] = float64(v % 7)
+	}
+	src := ihtl.NewBatch(g.NumV, k)
+	srcNew := ihtl.NewBatch(g.NumV, k)
+	for j := 0; j < k; j++ {
+		src.SetLane(j, dense)
+	}
+	src.PermuteToNew(ih, srcNew)
+
+	dst := ihtl.NewBatch(g.NumV, k)
+	eng.StepBatch(srcNew, dst)
+	dstOld := ihtl.NewBatch(g.NumV, k)
+	dst.PermuteToOld(ih, dstOld)
+
+	denseNew := make([]float64, g.NumV)
+	want := make([]float64, g.NumV)
+	wantOld := make([]float64, g.NumV)
+	ih.PermuteToNew(dense, denseNew)
+	eng.Step(denseNew, want)
+	ih.PermuteToOld(want, wantOld)
+
+	lane := make([]float64, g.NumV)
+	for j := 0; j < k; j++ {
+		dstOld.Lane(j, lane)
+		for v := range lane {
+			if math.Float64bits(lane[v]) != math.Float64bits(wantOld[v]) {
+				t.Fatalf("lane %d vertex %d: batched %v != scalar %v", j, v, lane[v], wantOld[v])
+			}
+		}
+	}
+
+	// Accessors.
+	src.Set(3, 1, 42)
+	if src.At(3, 1) != 42 {
+		t.Fatal("Batch Set/At broken")
+	}
+}
+
+func TestPublicAPIPersonalizedPageRank(t *testing.T) {
+	g, err := ihtl.GenerateRMAT(10, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := ihtl.NewPool(4)
+	defer pool.Close()
+
+	sources := []ihtl.VID{1, 17, 300}
+	eng, err := ihtl.NewBatchEngine(g, pool, ihtl.Params{HubsPerBlock: 256}, len(sources))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := ihtl.PageRankOptions{MaxIters: 15, Tol: -1, RedistributeDangling: true}
+	ranks, err := ihtl.PersonalizedPageRank(eng, pool, sources, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) != len(sources) {
+		t.Fatalf("got %d rank vectors, want %d", len(ranks), len(sources))
+	}
+	for j, s := range sources {
+		mass := 0.0
+		for v, r := range ranks[j] {
+			if r < 0 {
+				t.Fatalf("lane %d: negative rank at %d", j, v)
+			}
+			mass += r
+		}
+		if mass > 1+1e-9 || mass <= 0 {
+			t.Fatalf("lane %d: rank mass %g outside (0, 1]", j, mass)
+		}
+		if ranks[j][s] == 0 {
+			t.Fatalf("lane %d: source %d has zero rank", j, s)
+		}
+	}
+
+	if _, err := ihtl.PersonalizedPageRank(eng, pool, []ihtl.VID{ihtl.VID(g.NumV)}, opt); err == nil {
+		t.Fatal("out-of-range source: want error")
+	}
+}

@@ -5,6 +5,7 @@
 package ihtl_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -363,6 +364,59 @@ func BenchmarkStepPipeline(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkStepBatch sweeps the batch width over the scale-18 R-MAT:
+// K interleaved vectors advanced by one shared edge traversal, for the
+// fused iHTL engine (rebuilt per width with Params.ForBatch so the
+// K-wide hub buffers keep the scalar cache budget) and the pull
+// baseline. The reported Medge-per-vec/s metric — edge-lane throughput
+// per vector — is the figure of merit: it must rise with K while the
+// index stream amortises, then flatten once lane arithmetic dominates.
+func BenchmarkStepBatch(b *testing.B) {
+	pool := sched.NewPool(8)
+	defer pool.Close()
+	g, err := gen.RMAT(gen.DefaultRMAT(18, 16, 118))
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, e spmv.BatchStepper, k int) {
+		src := make([]float64, g.NumV*k)
+		dst := make([]float64, g.NumV*k)
+		for i := range src {
+			src[i] = 1 / float64(g.NumV)
+		}
+		b.SetBytes(g.NumE * 4 * int64(k))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.StepBatch(src, dst, k)
+			src, dst = dst, src
+		}
+		b.StopTimer()
+		nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.ReportMetric(float64(g.NumE)*float64(k)/nsPerOp*1e3, "Medge-per-vec/s")
+	}
+	for _, k := range bench.BatchKs() {
+		k := k
+		b.Run(fmt.Sprintf("ihtl/k%d", k), func(b *testing.B) {
+			ih, err := core.Build(g, core.Params{HubsPerBlock: 2048}.ForBatch(k))
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := core.NewEngine(ih, pool)
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(b, e, k)
+		})
+		b.Run(fmt.Sprintf("pull/k%d", k), func(b *testing.B) {
+			e, err := spmv.NewEngine(g, pool, spmv.Pull, spmv.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(b, e, k)
+		})
 	}
 }
 

@@ -28,6 +28,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and datasets, then exit")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		stepjson = flag.String("stepjson", "", "measure per-kernel step times and write them as JSON to this path (e.g. results/BENCH_step.json), then exit")
+		batch    = flag.Bool("batch", false, "with -stepjson: also sweep the batched (multi-vector) kernels at K = 1,4,8,16 over the batch registry (rmat18 + sk-s)")
 	)
 	flag.Parse()
 
@@ -66,6 +67,17 @@ func main() {
 		rep, err := bench.RunStepJSON(env, selected)
 		if err != nil {
 			fatal(err)
+		}
+		if *batch {
+			// The sweep runs on its own registry (the scale-18 R-MAT
+			// acceptance dataset) unless datasets were named explicitly.
+			sweep := bench.BatchSweepRegistry()
+			if *datasets != "" {
+				sweep = selected
+			}
+			if err := bench.AppendBatchSweep(rep, env, sweep, bench.BatchKs()); err != nil {
+				fatal(err)
+			}
 		}
 		if err := bench.WriteStepJSON(*stepjson, rep); err != nil {
 			fatal(err)

@@ -1,0 +1,208 @@
+package analytics
+
+import (
+	"fmt"
+	"math"
+
+	"ihtl/internal/sched"
+	"ihtl/internal/spmv"
+)
+
+// PPRResult carries the converged lanes of one batched personalized
+// PageRank run.
+type PPRResult struct {
+	// Ranks is vertex-major interleaved: lane j of vertex v at
+	// Ranks[v*K+j], in the Stepper's vertex-ID space.
+	Ranks []float64
+	// K is the batch width (the number of sources).
+	K int
+	// Iters is the number of iterations executed; every iteration
+	// advances all K lanes in a single batched Step.
+	Iters int
+	// Deltas is the final per-lane L1 change.
+	Deltas []float64
+}
+
+// Lane copies lane j of the interleaved ranks into a dense vector.
+func (r PPRResult) Lane(j int, out []float64) []float64 {
+	n := len(r.Ranks) / r.K
+	if out == nil {
+		out = make([]float64, n)
+	}
+	for v := 0; v < n; v++ {
+		out[v] = r.Ranks[v*r.K+j]
+	}
+	return out
+}
+
+// batchFusedStepper is the optional BatchStepper extension core.Engine
+// provides: StepBatch plus a fused epilogue over vertex ranges.
+type batchFusedStepper interface {
+	spmv.BatchStepper
+	StepBatchEpi(src, dst []float64, k int, epi func(w, lo, hi int))
+	Workers() int
+}
+
+// RunPersonalizedPageRank iterates K personalized PageRanks — one per
+// source — through batched SpMV steps:
+//
+//	PPRⱼ(v) = (1-d)·1[v = sⱼ] + d·Σ_{u∈N⁻(v)} PPRⱼ(u)/deg⁺(u)
+//
+// All K lanes share every edge load: one StepBatch per iteration
+// advances every source, and on a fused batched stepper (core.Engine)
+// the damping/delta/contribution sweep runs inside the same dispatch,
+// so a whole K-source iteration is one pool round-trip. Iteration
+// stops when every lane's L1 delta falls below opt.Tol (or at
+// opt.MaxIters). With opt.RedistributeDangling, each lane's dangling
+// mass teleports back to its own source, the standard PPR treatment.
+//
+// sources are vertex IDs in the Stepper's ID space; len(sources) is
+// the batch width K. outDeg must give the out-degree of every vertex.
+// pool parallelises the element-wise phases on non-fused steppers; it
+// may be nil for sequential execution.
+func RunPersonalizedPageRank(e spmv.BatchStepper, outDeg []int, pool *sched.Pool, sources []int, opt PageRankOptions) (PPRResult, error) {
+	n := e.NumVertices()
+	k := len(sources)
+	if k == 0 {
+		return PPRResult{}, fmt.Errorf("analytics: no sources")
+	}
+	if len(outDeg) != n {
+		return PPRResult{}, fmt.Errorf("analytics: outDeg length %d != %d vertices", len(outDeg), n)
+	}
+	for j, s := range sources {
+		if s < 0 || s >= n {
+			return PPRResult{}, fmt.Errorf("analytics: source %d (lane %d) out of [0,%d)", s, j, n)
+		}
+	}
+	o := opt.withDefaults()
+
+	invDeg := make([]float64, n)
+	for v, d := range outDeg {
+		if d > 0 {
+			invDeg[v] = 1 / float64(d)
+		}
+	}
+	ranks := make([]float64, n*k)
+	contrib := make([]float64, n*k)
+	sums := make([]float64, n*k)
+	// baseVec is the sparse teleport term: zero everywhere except
+	// baseVec[sⱼ*k+j], rewritten by the orchestrator each iteration
+	// when dangling mass is redistributed (it returns to the source).
+	baseVec := make([]float64, n*k)
+	dangling := make([]float64, k)
+	for j, s := range sources {
+		idx := s*k + j
+		ranks[idx] = 1
+		contrib[idx] = invDeg[s]
+		if o.RedistributeDangling && outDeg[s] == 0 {
+			dangling[j] = 1
+		}
+	}
+
+	// The per-iteration element-wise sweep, run as the batched Step's
+	// epilogue over vertex ranges: damping plus the sparse teleport
+	// term, per-lane L1 delta, next contributions, next dangling mass.
+	body := func(lo, hi int) (delta, dangl []float64) {
+		delta = make([]float64, k)
+		dangl = make([]float64, k)
+		bodyInto(lo, hi, k, o, ranks, sums, baseVec, contrib, invDeg, outDeg, delta, dangl)
+		return delta, dangl
+	}
+
+	fe, fused := e.(batchFusedStepper)
+	workers := 0
+	switch {
+	case fused:
+		workers = fe.Workers()
+	case pool != nil:
+		workers = pool.Workers()
+	}
+	var deltaParts, danglingParts []float64
+	var epi func(w, lo, hi int)
+	var poolEpi func(w int)
+	if workers > 0 {
+		deltaParts = make([]float64, workers*k)
+		danglingParts = make([]float64, workers*k)
+		epi = func(w, lo, hi int) {
+			dp := deltaParts[w*k : w*k+k]
+			gp := danglingParts[w*k : w*k+k]
+			clear(dp)
+			clear(gp)
+			bodyInto(lo, hi, k, o, ranks, sums, baseVec, contrib, invDeg, outDeg, dp, gp)
+		}
+		if !fused {
+			poolEpi = func(w int) {
+				lo, hi := sched.SplitRange(n, workers, w)
+				epi(w, lo, hi)
+			}
+		}
+	}
+
+	res := PPRResult{Ranks: ranks, K: k, Deltas: make([]float64, k)}
+	for iter := 0; iter < o.MaxIters; iter++ {
+		for j, s := range sources {
+			teleport := 1 - o.Damping
+			if o.RedistributeDangling {
+				teleport += o.Damping * dangling[j]
+			}
+			baseVec[s*k+j] = teleport
+		}
+		switch {
+		case fused:
+			fe.StepBatchEpi(contrib, sums, k, epi)
+		case pool != nil:
+			e.StepBatch(contrib, sums, k)
+			pool.Run(poolEpi)
+		default:
+			e.StepBatch(contrib, sums, k)
+			d, g := body(0, n)
+			copy(res.Deltas, d)
+			copy(dangling, g)
+		}
+		if workers > 0 {
+			clear(res.Deltas)
+			clear(dangling)
+			for w := 0; w < workers; w++ {
+				for j := 0; j < k; j++ {
+					res.Deltas[j] += deltaParts[w*k+j]
+					dangling[j] += danglingParts[w*k+j]
+				}
+			}
+		}
+		res.Iters = iter + 1
+		if o.Tol >= 0 && maxOf(res.Deltas) < o.Tol {
+			break
+		}
+	}
+	return res, nil
+}
+
+// bodyInto is the per-vertex-range PPR update, accumulating per-lane
+// delta and dangling mass into the caller's slices.
+func bodyInto(lo, hi, k int, o PageRankOptions, ranks, sums, baseVec, contrib, invDeg []float64, outDeg []int, delta, dangl []float64) {
+	for v := lo; v < hi; v++ {
+		vb := v * k
+		inv := invDeg[v]
+		dangle := o.RedistributeDangling && outDeg[v] == 0
+		for j := 0; j < k; j++ {
+			idx := vb + j
+			nv := o.Damping*sums[idx] + baseVec[idx]
+			delta[j] += math.Abs(nv - ranks[idx])
+			ranks[idx] = nv
+			contrib[idx] = nv * inv
+			if dangle {
+				dangl[j] += nv
+			}
+		}
+	}
+}
+
+func maxOf(v []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

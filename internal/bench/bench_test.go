@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -135,6 +136,69 @@ func TestStepJSONRoundTrip(t *testing.T) {
 	}
 	if back.Workers != env.Pool.Workers() || len(back.Results) != len(rep.Results) {
 		t.Fatalf("report changed in round trip: %+v", back)
+	}
+}
+
+// TestStepJSONBackCompat pins the schema extension: reports written
+// before the batch sweep existed (no batch_k / edges_per_sec_per_vec
+// fields) must still parse, with the batch fields at zero, and scalar
+// records must still serialise without them.
+func TestStepJSONBackCompat(t *testing.T) {
+	old := []byte(`{
+  "workers": 1, "gomaxprocs": 1, "iters": 4,
+  "results": [
+    {"dataset": "lvjrnl-s", "kernel": "pull", "vertices": 2048,
+     "edges": 24576, "ns_per_step": 100000, "ns_per_edge": 4.069}
+  ]
+}`)
+	var rep StepReport
+	if err := json.Unmarshal(old, &rep); err != nil {
+		t.Fatalf("pre-batch report no longer parses: %v", err)
+	}
+	r := rep.Results[0]
+	if r.BatchK != 0 || r.EdgesPerSecPerVec != 0 {
+		t.Fatalf("scalar record grew batch fields: %+v", r)
+	}
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(out, []byte("batch_k")) || bytes.Contains(out, []byte("edges_per_sec_per_vec")) {
+		t.Fatalf("scalar record serialises batch fields: %s", out)
+	}
+}
+
+func TestAppendBatchSweep(t *testing.T) {
+	env, _ := smallEnv(t)
+	d := SmallRegistry()[0]
+	rep := &StepReport{Workers: env.Pool.Workers(), Iters: env.Iters}
+	ks := []int{1, 2}
+	if err := AppendBatchSweep(rep, env, []*Dataset{d}, ks); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(BatchKernels()) * len(ks); len(rep.Results) != want {
+		t.Fatalf("%d records, want %d", len(rep.Results), want)
+	}
+	for _, r := range rep.Results {
+		if r.BatchK < 1 || r.NsPerStep <= 0 || r.EdgesPerSecPerVec <= 0 {
+			t.Fatalf("implausible batch record: %+v", r)
+		}
+		// ns_per_edge is per edge-LANE and edges_per_sec_per_vec its
+		// reciprocal throughput; check internal consistency.
+		lanes := float64(r.Edges) * float64(r.BatchK)
+		if math.Abs(r.NsPerEdge-float64(r.NsPerStep)/lanes) > 1e-9 {
+			t.Fatalf("ns_per_edge inconsistent: %+v", r)
+		}
+		if math.Abs(r.EdgesPerSecPerVec-lanes/float64(r.NsPerStep)*1e9) > 1e-3 {
+			t.Fatalf("edges_per_sec_per_vec inconsistent: %+v", r)
+		}
+	}
+	g, err := d.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := batchEngine(env, g, "simd-batch", 2); err == nil {
+		t.Fatal("unknown batch kernel accepted")
 	}
 }
 

@@ -93,6 +93,17 @@ func SmallRegistry() []*Dataset {
 	}
 }
 
+// BatchSweepRegistry returns the datasets of the batch-width sweep:
+// the scale-18 R-MAT the sweep's acceptance figure is recorded on
+// (2^18 vertices, Graph500 edge factor 16 — the largest social analog
+// in the repository) plus one small web analog for shape coverage.
+func BatchSweepRegistry() []*Dataset {
+	return []*Dataset{
+		rmatDS("rmat18", "R-MAT scale 18 (batch sweep)", 18, 16, 118),
+		webDS("sk-s", "SK-Domain (small)", 12_000, 20, 203),
+	}
+}
+
 // ByName finds a dataset in the given registry.
 func ByName(reg []*Dataset, name string) (*Dataset, error) {
 	for _, d := range reg {

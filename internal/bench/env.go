@@ -103,3 +103,18 @@ func stepTime(e spmv.Stepper, iters int) time.Duration {
 		src, dst = dst, src
 	})
 }
+
+// stepBatchTime is stepTime for a K-wide batched engine: the measured
+// unit is one StepBatch advancing all K lanes.
+func stepBatchTime(e spmv.BatchStepper, k, iters int) time.Duration {
+	n := e.NumVertices()
+	src := make([]float64, n*k)
+	dst := make([]float64, n*k)
+	for i := range src {
+		src[i] = 1 / float64(n+1)
+	}
+	return timeIt(iters, func() {
+		e.StepBatch(src, dst, k)
+		src, dst = dst, src
+	})
+}

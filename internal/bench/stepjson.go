@@ -22,7 +22,10 @@ func StepKernels() []string {
 	}
 }
 
-// StepResult is one (dataset, kernel) measurement.
+// StepResult is one (dataset, kernel) measurement. Scalar records
+// leave the batch fields at their zero values, so reports written
+// before the batch sweep existed still parse (and re-serialise)
+// unchanged.
 type StepResult struct {
 	Dataset   string  `json:"dataset"`
 	Kernel    string  `json:"kernel"`
@@ -30,6 +33,16 @@ type StepResult struct {
 	Edges     int64   `json:"edges"`
 	NsPerStep int64   `json:"ns_per_step"`
 	NsPerEdge float64 `json:"ns_per_edge"`
+
+	// BatchK is the batch width of a batched-kernel record (0 for
+	// scalar records). NsPerStep is then the time of one K-wide
+	// StepBatch and NsPerEdge is per edge-LANE (K lanes per edge).
+	BatchK int `json:"batch_k,omitempty"`
+	// EdgesPerSecPerVec is the per-vector edge throughput of a batched
+	// record: Edges / (NsPerStep/BatchK) — the effective per-vector
+	// step time shrinks to NsPerStep/K, so this is the figure that
+	// must rise with K for batching to pay.
+	EdgesPerSecPerVec float64 `json:"edges_per_sec_per_vec,omitempty"`
 }
 
 // StepReport is the machine-readable per-kernel step-time report;
@@ -72,6 +85,71 @@ func RunStepJSON(env *Env, datasets []*Dataset) (*StepReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// BatchKs lists the batch widths of the -batch sweep.
+func BatchKs() []int { return []int{1, 4, 8, 16} }
+
+// BatchKernels lists the kernel IDs measured per batch width: the
+// pull and buffered-push baselines and the fused iHTL engine, each in
+// its batched (multi-vector) form.
+func BatchKernels() []string {
+	return []string{"pull-batch", "push-buffered-batch", "ihtl-fused-batch"}
+}
+
+// AppendBatchSweep measures the batched kernels at every width in ks
+// on each dataset and appends the records to rep. The iHTL engine is
+// rebuilt per width with Params.ForBatch, so its K-wide hub buffers
+// keep the scalar cache budget.
+func AppendBatchSweep(rep *StepReport, env *Env, datasets []*Dataset, ks []int) error {
+	if len(ks) == 0 {
+		ks = BatchKs()
+	}
+	for _, d := range datasets {
+		g, err := d.Load()
+		if err != nil {
+			return fmt.Errorf("%s: %w", d.Name, err)
+		}
+		for _, kernel := range BatchKernels() {
+			for _, k := range ks {
+				e, err := batchEngine(env, g, kernel, k)
+				if err != nil {
+					return fmt.Errorf("%s/%s/k%d: %w", d.Name, kernel, k, err)
+				}
+				ns := stepBatchTime(e, k, env.Iters).Nanoseconds()
+				rep.Results = append(rep.Results, StepResult{
+					Dataset:           d.Name,
+					Kernel:            kernel,
+					Vertices:          g.NumV,
+					Edges:             g.NumE,
+					NsPerStep:         ns,
+					NsPerEdge:         float64(ns) / float64(g.NumE*int64(k)),
+					BatchK:            k,
+					EdgesPerSecPerVec: float64(g.NumE) * float64(k) / float64(ns) * 1e9,
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// batchEngine builds the named batched kernel's engine for g at
+// width k.
+func batchEngine(env *Env, g *graph.Graph, kernel string, k int) (spmv.BatchStepper, error) {
+	switch kernel {
+	case "pull-batch":
+		return spmv.NewEngine(g, env.Pool, spmv.Pull, spmv.Options{})
+	case "push-buffered-batch":
+		return spmv.NewEngine(g, env.Pool, spmv.PushBuffered, spmv.Options{})
+	case "ihtl-fused-batch":
+		ih, err := core.Build(g, env.ihtlParams().ForBatch(k))
+		if err != nil {
+			return nil, err
+		}
+		return core.NewEngine(ih, env.Pool)
+	default:
+		return nil, fmt.Errorf("bench: unknown batch kernel %q", kernel)
+	}
 }
 
 // stepEngine builds the named kernel's engine for g.

@@ -75,6 +75,10 @@ type Engine struct {
 	epiBarrier   *sched.Barrier
 	phasedEpiJob func(w int)
 
+	// batch is the K-wide state of StepBatch, allocated on first use
+	// of a width and reused while the width is stable.
+	batch *batchState
+
 	// clocks accumulate per-worker busy time per phase, cache-line
 	// padded so the frequent updates don't false-share.
 	clocks []workerClock
@@ -393,7 +397,7 @@ func (e *Engine) fusedWorkerBuffered(w int) {
 			dsts := fb.Dsts
 			for s := bt.lo; s < bt.hi; s++ {
 				x := src[s]
-				if x == 0 {
+				if spmv.SkipZero(x) {
 					continue
 				}
 				for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
@@ -494,7 +498,7 @@ func (e *Engine) fusedWorkerAtomic(w int) {
 			dsts := fb.Dsts
 			for s := bt.lo; s < bt.hi; s++ {
 				x := src[s]
-				if x == 0 {
+				if spmv.SkipZero(x) {
 					continue
 				}
 				for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
@@ -574,7 +578,7 @@ func (e *Engine) stepPhased(src, dst []float64) {
 			dsts := fb.Dsts
 			for s := bt.lo; s < bt.hi; s++ {
 				x := src[s]
-				if x == 0 {
+				if spmv.SkipZero(x) {
 					continue
 				}
 				for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
@@ -590,7 +594,7 @@ func (e *Engine) stepPhased(src, dst []float64) {
 			dsts := fb.Dsts
 			for s := bt.lo; s < bt.hi; s++ {
 				x := src[s]
-				if x == 0 {
+				if spmv.SkipZero(x) {
 					continue
 				}
 				for i := fb.Index[s]; i < fb.Index[s+1]; i++ {

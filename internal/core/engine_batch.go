@@ -1,0 +1,433 @@
+package core
+
+import (
+	"time"
+
+	"ihtl/internal/sched"
+	"ihtl/internal/spmv"
+)
+
+// Batched (multi-vector) execution of Algorithm 3: StepBatch runs K
+// interleaved SpMVs through one traversal of the iHTL topology.
+// Vectors are vertex-major interleaved (lane j of vertex v at
+// x[v*k+j]), so every flipped edge drives K contiguous buffer lanes
+// and every sparse edge K contiguous partial sums — the edge/index
+// stream that bounds the scalar kernels is amortised K ways.
+//
+// The batched pipeline reuses the engine's schedulers, countdown
+// gates, barriers and clocks; only the hub buffers and dirty ranges
+// are K-wide, held in a batchState allocated on first use of a width
+// (and reused while the width is stable, keeping steady-state
+// StepBatch allocation-free). To keep a K-wide per-block buffer
+// L2-resident the way §3.4 sizes the scalar one, build the IHTL with
+// Params.ForBatch(k), which shrinks the effective B to L2/(8·K).
+
+// batchState is the K-wide execution state of one batch width.
+type batchState struct {
+	k int
+	// bufs[w] is worker w's K-wide hub accumulation buffer
+	// (NumHubs*k lanes, vertex-major interleaved).
+	bufs [][]float64
+	// dirty tracks per (worker, block) the HUB range the worker
+	// touched (lane-agnostic: lanes of one hub live or die together).
+	dirty []dirtyRange
+	// hubClearBounds are lane-aligned flat bounds over [0, NumHubs*k)
+	// for the AtomicFlipped path's cooperative clear.
+	hubClearBounds []int
+	// fusedJob is the prebuilt worker body, so a fused StepBatch
+	// allocates nothing.
+	fusedJob func(w int)
+}
+
+// ensureBatch returns the engine's batch state for width k, building
+// it on first use or on a width change.
+func (e *Engine) ensureBatch(k int) *batchState {
+	if e.batch != nil && e.batch.k == k {
+		return e.batch
+	}
+	b := &batchState{k: k}
+	w := len(e.clocks)
+	if e.atomicFlipped {
+		if e.ih.NumHubs > 0 {
+			b.hubClearBounds = make([]int, w+1)
+			for i := 0; i < w; i++ {
+				b.hubClearBounds[i], b.hubClearBounds[i+1] =
+					sched.SplitRangeStride(e.ih.NumHubs, k, w, i)
+			}
+		}
+		b.fusedJob = func(worker int) { e.fusedWorkerAtomicBatch(b, worker) }
+	} else {
+		b.bufs = make([][]float64, w)
+		for i := range b.bufs {
+			b.bufs[i] = make([]float64, e.ih.NumHubs*k)
+		}
+		b.dirty = make([]dirtyRange, w*len(e.ih.Blocks))
+		b.fusedJob = func(worker int) { e.fusedWorkerBufferedBatch(b, worker) }
+	}
+	e.batch = b
+	return b
+}
+
+// StepBatch computes dst[v*k+j] = Σ_{u ∈ N⁻(v)} src[u*k+j] for every
+// vertex v and lane j < k, in iHTL ID space. src and dst must have
+// length NumV*k, be vertex-major interleaved, and must not alias.
+// k == 1 delegates to the scalar Step.
+func (e *Engine) StepBatch(src, dst []float64, k int) {
+	e.StepBatchEpi(src, dst, k, nil)
+}
+
+// StepBatchEpi is StepBatch followed by an element-wise epilogue with
+// the same contract as StepEpi's: every worker runs epi(w, lo, hi)
+// over its static share [lo, hi) of the VERTEX range [0, NumV) — lane
+// j of vertex v is at index v*k+j — once all of dst is complete. Under
+// the fused pipeline the epilogue runs inside the same dispatch, so a
+// whole K-source analytic iteration costs a single pool round-trip.
+// epi may be nil.
+func (e *Engine) StepBatchEpi(src, dst []float64, k int, epi func(w, lo, hi int)) {
+	if k == 1 {
+		e.StepEpi(src, dst, epi)
+		return
+	}
+	if k < 1 {
+		panic("core: batch width < 1")
+	}
+	ih := e.ih
+	if len(src) != ih.NumV*k || len(dst) != ih.NumV*k {
+		panic("core: batch vector length mismatch")
+	}
+	b := e.ensureBatch(k)
+	if e.phased {
+		e.stepPhasedBatch(b, src, dst)
+		if epi != nil {
+			start := time.Now()
+			e.curEpi = epi
+			e.pool.Run(e.phasedEpiJob)
+			e.curEpi = nil
+			e.breakdown.Wall += time.Since(start)
+		}
+	} else {
+		e.curEpi = epi
+		e.stepFusedBatch(b, src, dst)
+		e.curEpi = nil
+	}
+	e.breakdown.Steps++
+}
+
+// stepFusedBatch mirrors stepFused for a K-wide dispatch.
+func (e *Engine) stepFusedBatch(b *batchState, src, dst []float64) {
+	start := time.Now()
+	e.flipSched.Reset(len(e.blockTasks))
+	if n := len(e.sparseBounds) - 1; n > 0 {
+		e.sparseSched.Reset(n)
+	}
+	if !e.atomicFlipped {
+		e.blockGate.Reset(e.tasksPerBlock)
+	}
+	e.curSrc, e.curDst = src, dst
+	e.pool.Run(b.fusedJob)
+	e.curSrc, e.curDst = nil, nil
+	e.breakdown.Wall += time.Since(start)
+	e.harvestClocks()
+}
+
+// fusedWorkerBufferedBatch is fusedWorkerBuffered with K-wide lanes:
+// same task claiming, dirty-range widening, countdown-gated merges and
+// barrier-free flow into the sparse pull — only the accumulation is
+// over buf[d*k : d*k+k] instead of buf[d].
+func (e *Engine) fusedWorkerBufferedBatch(b *batchState, w int) {
+	ih := e.ih
+	k := b.k
+	src, dst := e.curSrc, e.curDst
+	t0 := time.Now()
+	if w == 0 {
+		for _, blk := range e.emptyBlocks {
+			fb := &ih.Blocks[blk]
+			clear(dst[fb.HubLo*k : fb.HubHi*k])
+		}
+	}
+	nb := len(ih.Blocks)
+	buf := b.bufs[w]
+	var mergeTime time.Duration
+	for {
+		lo, hi, ok := e.flipSched.Next(w, 1)
+		if !ok {
+			break
+		}
+		for ti := lo; ti < hi; ti++ {
+			bt := &e.blockTasks[ti]
+			fb := &ih.Blocks[bt.block]
+			dsts := fb.Dsts
+			for s := bt.lo; s < bt.hi; s++ {
+				sb := s * k
+				xs := src[sb : sb+k : sb+k]
+				if spmv.SkipZeroLanes(xs) {
+					continue
+				}
+				for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
+					db := int(dsts[i]) * k
+					acc := buf[db : db+k : db+k]
+					for j, x := range xs {
+						acc[j] += x
+					}
+				}
+			}
+			if bt.dHi > bt.dLo {
+				dr := &b.dirty[w*nb+bt.block]
+				if dr.hi <= dr.lo {
+					dr.lo, dr.hi = bt.dLo, bt.dHi
+				} else {
+					if bt.dLo < dr.lo {
+						dr.lo = bt.dLo
+					}
+					if bt.dHi > dr.hi {
+						dr.hi = bt.dHi
+					}
+				}
+			}
+			if e.blockGate.Done(bt.block) {
+				tm := time.Now()
+				e.mergeBlockBatch(b, bt.block, dst)
+				mergeTime += time.Since(tm)
+			}
+		}
+	}
+	t1 := time.Now()
+	e.sparseWorkerBatch(w, k, src, dst)
+	t2 := time.Now()
+	clk := &e.clocks[w]
+	clk.flipped += t1.Sub(t0) - mergeTime
+	clk.merge += mergeTime
+	clk.sparse += t2.Sub(t1)
+	e.runEpilogue(w)
+}
+
+// mergeBlockBatch folds every worker's dirty hub range of block blk
+// into dst, K lanes per hub, and resets the consumed buffer lanes.
+// Same ownership argument as mergeBlock: the caller holds the block's
+// completion, and hub h's lanes [h*k, h*k+k) are dirty or clean as a
+// unit because the dirty ranges track hubs, not lanes.
+func (e *Engine) mergeBlockBatch(b *batchState, blk int, dst []float64) {
+	fb := &e.ih.Blocks[blk]
+	k := b.k
+	clear(dst[fb.HubLo*k : fb.HubHi*k])
+	nb := len(e.ih.Blocks)
+	for t := range b.bufs {
+		dr := &b.dirty[t*nb+blk]
+		if dr.hi <= dr.lo {
+			continue
+		}
+		buf := b.bufs[t]
+		for i := dr.lo * k; i < dr.hi*k; i++ {
+			dst[i] += buf[i]
+			buf[i] = 0
+		}
+		dr.lo, dr.hi = 0, 0
+	}
+}
+
+// fusedWorkerAtomicBatch is the AtomicFlipped ablation's batched fused
+// worker: cooperative lane-aligned hub zeroing, the clear barrier,
+// stolen flipped tasks with K CAS updates per edge, then the batched
+// sparse pull.
+func (e *Engine) fusedWorkerAtomicBatch(b *batchState, w int) {
+	ih := e.ih
+	k := b.k
+	src, dst := e.curSrc, e.curDst
+	clk := &e.clocks[w]
+	if ih.NumHubs > 0 {
+		t0 := time.Now()
+		clear(dst[b.hubClearBounds[w]:b.hubClearBounds[w+1]])
+		clk.merge += time.Since(t0)
+		e.clearBarrier.Wait()
+	}
+	t1 := time.Now()
+	for {
+		lo, hi, ok := e.flipSched.Next(w, 1)
+		if !ok {
+			break
+		}
+		for ti := lo; ti < hi; ti++ {
+			bt := &e.blockTasks[ti]
+			fb := &ih.Blocks[bt.block]
+			dsts := fb.Dsts
+			for s := bt.lo; s < bt.hi; s++ {
+				sb := s * k
+				xs := src[sb : sb+k : sb+k]
+				if spmv.SkipZeroLanes(xs) {
+					continue
+				}
+				for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
+					db := int(dsts[i]) * k
+					for j, x := range xs {
+						spmv.AtomicAddFloat64(&dst[db+j], x)
+					}
+				}
+			}
+		}
+	}
+	t2 := time.Now()
+	e.sparseWorkerBatch(w, k, src, dst)
+	t3 := time.Now()
+	clk.flipped += t2.Sub(t1)
+	clk.sparse += t3.Sub(t2)
+	e.runEpilogue(w)
+}
+
+// sparseWorkerBatch drains the sparse-block pull with K partial sums
+// accumulated in place in dst's contiguous lane row, which each
+// destination owns exclusively.
+func (e *Engine) sparseWorkerBatch(w, k int, src, dst []float64) {
+	nparts := len(e.sparseBounds) - 1
+	if nparts <= 0 {
+		return
+	}
+	sp := &e.ih.Sparse
+	for {
+		lo, hi, ok := e.sparseSched.Next(w, 1)
+		if !ok {
+			return
+		}
+		for p := lo; p < hi; p++ {
+			vlo, vhi := e.sparseBounds[p], e.sparseBounds[p+1]
+			for i := vlo; i < vhi; i++ {
+				db := (sp.DestLo + i) * k
+				out := dst[db : db+k : db+k]
+				for j := range out {
+					out[j] = 0
+				}
+				for jj := sp.Index[i]; jj < sp.Index[i+1]; jj++ {
+					sb := int(sp.Srcs[jj]) * k
+					xs := src[sb : sb+k : sb+k]
+					for j, x := range xs {
+						out[j] += x
+					}
+				}
+			}
+		}
+	}
+}
+
+// stepPhasedBatch is the pre-fusion three-dispatch pipeline with
+// K-wide lanes, kept for the same ablation EngineOptions.Phased serves
+// in the scalar path.
+func (e *Engine) stepPhasedBatch(b *batchState, src, dst []float64) {
+	ih := e.ih
+	k := b.k
+
+	// Phase 1 — K-wide push traversal of the flipped blocks.
+	t0 := time.Now()
+	if e.atomicFlipped {
+		e.pool.ForStatic(ih.NumHubs*k, func(w, lo, hi int) {
+			clear(dst[lo:hi])
+		})
+		e.pool.ForEachPart(len(e.blockTasks), func(w, task int) {
+			bt := &e.blockTasks[task]
+			fb := &ih.Blocks[bt.block]
+			dsts := fb.Dsts
+			for s := bt.lo; s < bt.hi; s++ {
+				sb := s * k
+				xs := src[sb : sb+k : sb+k]
+				if spmv.SkipZeroLanes(xs) {
+					continue
+				}
+				for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
+					db := int(dsts[i]) * k
+					for j, x := range xs {
+						spmv.AtomicAddFloat64(&dst[db+j], x)
+					}
+				}
+			}
+		})
+	} else {
+		e.pool.ForEachPart(len(e.blockTasks), func(w, task int) {
+			bt := &e.blockTasks[task]
+			fb := &ih.Blocks[bt.block]
+			buf := b.bufs[w]
+			dsts := fb.Dsts
+			for s := bt.lo; s < bt.hi; s++ {
+				sb := s * k
+				xs := src[sb : sb+k : sb+k]
+				if spmv.SkipZeroLanes(xs) {
+					continue
+				}
+				for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
+					db := int(dsts[i]) * k
+					acc := buf[db : db+k : db+k]
+					for j, x := range xs {
+						acc[j] += x
+					}
+				}
+			}
+		})
+	}
+	t1 := time.Now()
+
+	// Phase 2 — aggregate the K-wide thread buffers into hub data.
+	// The flat sweep over [0, NumHubs*k) is element-wise, so the split
+	// needs no lane alignment.
+	if !e.atomicFlipped {
+		bufs := b.bufs
+		e.pool.ForStatic(ih.NumHubs*k, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sum := 0.0
+				for t := range bufs {
+					sum += bufs[t][i]
+					bufs[t][i] = 0
+				}
+				dst[i] = sum
+			}
+		})
+	}
+	t2 := time.Now()
+
+	// Phase 3 — K-wide pull traversal of the sparse block.
+	sp := &ih.Sparse
+	nparts := len(e.sparseBounds) - 1
+	if nparts > 0 {
+		e.pool.ForEachPart(nparts, func(w, part int) {
+			lo, hi := e.sparseBounds[part], e.sparseBounds[part+1]
+			for i := lo; i < hi; i++ {
+				db := (sp.DestLo + i) * k
+				out := dst[db : db+k : db+k]
+				for j := range out {
+					out[j] = 0
+				}
+				for jj := sp.Index[i]; jj < sp.Index[i+1]; jj++ {
+					sb := int(sp.Srcs[jj]) * k
+					xs := src[sb : sb+k : sb+k]
+					for j, x := range xs {
+						out[j] += x
+					}
+				}
+			}
+		})
+	}
+	t3 := time.Now()
+
+	e.breakdown.Flipped += t1.Sub(t0)
+	e.breakdown.Merge += t2.Sub(t1)
+	e.breakdown.Sparse += t3.Sub(t2)
+	e.breakdown.Wall += t3.Sub(t0)
+}
+
+// PermuteToNewBatch scatters K interleaved vectors indexed by original
+// IDs into iHTL ID order: out[NewID[v]*k+j] = in[v*k+j].
+func (ih *IHTL) PermuteToNewBatch(in, out []float64, k int) {
+	if len(in) != ih.NumV*k || len(out) != ih.NumV*k {
+		panic("core: batch vector length mismatch")
+	}
+	for v, nv := range ih.NewID {
+		copy(out[int(nv)*k:int(nv)*k+k], in[v*k:v*k+k])
+	}
+}
+
+// PermuteToOldBatch is the inverse of PermuteToNewBatch:
+// out[v*k+j] = in[NewID[v]*k+j].
+func (ih *IHTL) PermuteToOldBatch(in, out []float64, k int) {
+	if len(in) != ih.NumV*k || len(out) != ih.NumV*k {
+		panic("core: batch vector length mismatch")
+	}
+	for v, nv := range ih.NewID {
+		copy(out[v*k:v*k+k], in[int(nv)*k:int(nv)*k+k])
+	}
+}

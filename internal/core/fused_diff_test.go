@@ -29,6 +29,26 @@ func integerVec(seed uint64, n int) []float64 {
 	return v
 }
 
+// signedVec draws small signed integer values and replaces zeros with
+// -0.0 half the time. The kernels' zero-skip keys on the bit pattern
+// (spmv.SkipZero): only +0.0 — the additive identity every accumulator
+// starts from — may be skipped, while -0.0 must be traversed. Adding
+// -0.0 into a +0.0-initialised sum is itself bit-transparent, so the
+// results below stay bit-identical across engines and schedules; the
+// test pins that no kernel re-grows a `x == 0` comparison that would
+// diverge from the shared predicate.
+func signedVec(seed uint64, n int) []float64 {
+	rng := xrand.New(seed)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(int64(rng.Uint64n(9)) - 4)
+		if v[i] == 0 && rng.Uint64n(2) == 0 {
+			v[i] = math.Copysign(0, -1)
+		}
+	}
+	return v
+}
+
 func diffGraphs(t *testing.T) map[string]*graph.Graph {
 	t.Helper()
 	gs := map[string]*graph.Graph{"paper": graph.PaperExample()}
@@ -114,6 +134,56 @@ func TestStepDifferentialFusedPhasedPull(t *testing.T) {
 	}
 }
 
+// TestStepDifferentialSignedZero runs the differential with sources
+// containing negative values and -0.0: every engine — the iHTL
+// pipelines and all four spmv baselines — must agree bit-for-bit, so
+// the zero-skip semantics are uniform (satellite of the SkipZero
+// unification; see signedVec).
+func TestStepDifferentialSignedZero(t *testing.T) {
+	for name, g := range diffGraphs(t) {
+		src := signedVec(77, g.NumV)
+		pool := sched.NewPool(3)
+		defer pool.Close()
+
+		pe, err := spmv.NewEngine(g, pool, spmv.Pull, spmv.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]float64, g.NumV)
+		pe.Step(src, want)
+
+		got := make([]float64, g.NumV)
+		for _, dir := range []spmv.Direction{
+			spmv.PushAtomic, spmv.PushBuffered, spmv.PushPartitioned,
+		} {
+			e, err := spmv.NewEngine(g, pool, dir, spmv.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Step(src, got)
+			requireBitIdentical(t, fmt.Sprintf("%s/%v", name, dir), want, got)
+		}
+
+		ih, err := Build(g, Params{HubsPerBlock: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opt := range []EngineOptions{
+			{},
+			{Phased: true},
+			{AtomicFlipped: true},
+			{AtomicFlipped: true, Phased: true},
+		} {
+			e, err := NewEngineOpts(ih, pool, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("%s/phased=%v atomic=%v", name, opt.Phased, opt.AtomicFlipped)
+			requireBitIdentical(t, label, want, stepOldSpace(ih, e, src))
+		}
+	}
+}
+
 func requireBitIdentical(t *testing.T, label string, want, got []float64) {
 	t.Helper()
 	for v := range want {
@@ -163,6 +233,13 @@ func FuzzStepDifferential(f *testing.F) {
 			t.Fatal(err)
 		}
 		requireBitIdentical(t, "phased", want, stepOldSpace(ih, phased, src))
+
+		// Second pass with signed values and -0.0 entries: the skip
+		// predicates must keep every engine bit-identical (see signedVec).
+		srcSigned := signedVec(seed^0x5a5a, g.NumV)
+		pe.Step(srcSigned, want)
+		requireBitIdentical(t, "fused signed", want, stepOldSpace(ih, fused, srcSigned))
+		requireBitIdentical(t, "phased signed", want, stepOldSpace(ih, phased, srcSigned))
 	})
 }
 

@@ -79,6 +79,31 @@ type SparseOrderer interface {
 	Permutation(g *graph.Graph) []graph.VID
 }
 
+// ForBatch returns the parameters adjusted for K-wide batched
+// execution (Engine.StepBatch): per-vertex data grows to K lanes, so
+// VertexBytes is scaled by k and the effective B shrinks to
+// CacheBytes/(VertexBytes·k) — a K-wide per-block hub buffer then
+// occupies the same cache budget the scalar one did (§3.4's sizing
+// argument, applied to K lanes). An explicitly set HubsPerBlock is
+// divided by k directly. k <= 1 returns p unchanged.
+func (p Params) ForBatch(k int) Params {
+	if k <= 1 {
+		return p
+	}
+	if p.HubsPerBlock > 0 {
+		p.HubsPerBlock /= k
+		if p.HubsPerBlock < 1 {
+			p.HubsPerBlock = 1
+		}
+		return p
+	}
+	if p.VertexBytes == 0 {
+		p.VertexBytes = DefaultVertexBytes
+	}
+	p.VertexBytes *= k
+	return p
+}
+
 // withDefaults resolves zero fields.
 func (p Params) withDefaults() Params {
 	if p.VertexBytes == 0 {

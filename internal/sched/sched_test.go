@@ -168,6 +168,32 @@ func TestSplitRangeProperties(t *testing.T) {
 	}
 }
 
+func TestSplitRangeStride(t *testing.T) {
+	f := func(nRaw, strideRaw, pRaw uint16) bool {
+		n := int(nRaw) % 2000
+		stride := int(strideRaw)%16 + 1
+		p := int(pRaw)%64 + 1
+		prevHi := 0
+		for w := 0; w < p; w++ {
+			lo, hi := SplitRangeStride(n, stride, p, w)
+			// Contiguous coverage of [0, n*stride), always cut on a
+			// stride boundary (a whole number of lane rows per worker).
+			if lo != prevHi || hi < lo || lo%stride != 0 || hi%stride != 0 {
+				return false
+			}
+			vlo, vhi := SplitRange(n, p, w)
+			if lo != vlo*stride || hi != vhi*stride {
+				return false
+			}
+			prevHi = hi
+		}
+		return prevHi == n*stride
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestEdgeBalancedPartsBoundariesValid(t *testing.T) {
 	// Skewed "degree" array: vertex 0 owns half of all edges.
 	n := 1000

@@ -1,0 +1,178 @@
+package spmv
+
+// Batched (multi-vector) SpMM: one traversal of the edge stream drives
+// K dense vectors at once. Vectors are VERTEX-MAJOR INTERLEAVED —
+// vertex v's lane j lives at x[v*k+j] — so each loaded edge touches K
+// contiguous float64 lanes of its source and destination. The kernels
+// are otherwise identical to their scalar counterparts; the point of
+// batching is that the irregular index stream (the bound resource of
+// every kernel here, §4.3) is amortised over K lanes of useful
+// arithmetic, the propagation-blocking / multi-vector SpMM argument.
+
+// BatchStepper is the batched extension of Stepper: one StepBatch
+// computes dst[v*k+j] = Σ_{u ∈ N⁻(v)} src[u*k+j] for every vertex v
+// and lane j < k. src and dst must have length NumVertices()*k and be
+// vertex-major interleaved. Implementations must make StepBatch with
+// k == 1 semantically identical to Step.
+type BatchStepper interface {
+	Stepper
+	StepBatch(src, dst []float64, k int)
+}
+
+// StepBatch implements BatchStepper over the engine's direction.
+// src and dst must have length NumV*k and must not alias. k == 1
+// delegates to the scalar Step, so a width-1 batch costs exactly one
+// scalar iteration.
+func (e *Engine) StepBatch(src, dst []float64, k int) {
+	if k == 1 {
+		e.Step(src, dst)
+		return
+	}
+	if k < 1 {
+		panic("spmv: batch width < 1")
+	}
+	if len(src) != e.g.NumV*k || len(dst) != e.g.NumV*k {
+		panic("spmv: batch vector length mismatch")
+	}
+	switch e.dir {
+	case Pull:
+		e.stepPullBatch(src, dst, k)
+	case PushAtomic:
+		e.stepPushAtomicBatch(src, dst, k)
+	case PushBuffered:
+		e.stepPushBufferedBatch(src, dst, k)
+	case PushPartitioned:
+		e.stepPushPartitionedBatch(src, dst, k)
+	}
+}
+
+// stepPullBatch is the batched Algorithm 1: per destination, the K
+// partial sums accumulate directly in dst's contiguous lane row, which
+// each partition owns exclusively.
+func (e *Engine) stepPullBatch(src, dst []float64, k int) {
+	g := e.g
+	nparts := len(e.pullBounds) - 1
+	e.forParts(nparts, func(w, part int) {
+		lo, hi := e.pullBounds[part], e.pullBounds[part+1]
+		nbrs := g.InNbrs
+		for v := lo; v < hi; v++ {
+			db := v * k
+			out := dst[db : db+k : db+k]
+			for j := range out {
+				out[j] = 0
+			}
+			for i := g.InIndex[v]; i < g.InIndex[v+1]; i++ {
+				sb := int(nbrs[i]) * k
+				xs := src[sb : sb+k : sb+k]
+				for j, x := range xs {
+					out[j] += x
+				}
+			}
+		}
+	})
+}
+
+// stepPushAtomicBatch is the batched Algorithm 2 with atomics: K CAS
+// updates per edge. Batching does not amortise the synchronisation —
+// the lane loop multiplies it — which is exactly the ablation point.
+func (e *Engine) stepPushAtomicBatch(src, dst []float64, k int) {
+	e.zero(dst)
+	g := e.g
+	nparts := len(e.pushBounds) - 1
+	e.forParts(nparts, func(w, part int) {
+		lo, hi := e.pushBounds[part], e.pushBounds[part+1]
+		nbrs := g.OutNbrs
+		for v := lo; v < hi; v++ {
+			sb := v * k
+			xs := src[sb : sb+k : sb+k]
+			if SkipZeroLanes(xs) {
+				continue
+			}
+			for i := g.OutIndex[v]; i < g.OutIndex[v+1]; i++ {
+				db := int(nbrs[i]) * k
+				for j, x := range xs {
+					AtomicAddFloat64(&dst[db+j], x)
+				}
+			}
+		}
+	})
+}
+
+// stepPushBufferedBatch is the batched X-Stream push: per-worker
+// buffers grow to NumV*k lanes (allocated on first use of a width and
+// reused after), and the merge reduces K lanes per vertex.
+func (e *Engine) stepPushBufferedBatch(src, dst []float64, k int) {
+	g := e.g
+	bufs := e.batchBufs(k)
+	e.pool.Run(func(w int) {
+		clear(bufs[w])
+	})
+	nparts := len(e.pushBounds) - 1
+	e.forParts(nparts, func(w, part int) {
+		buf := bufs[w]
+		lo, hi := e.pushBounds[part], e.pushBounds[part+1]
+		nbrs := g.OutNbrs
+		for v := lo; v < hi; v++ {
+			sb := v * k
+			xs := src[sb : sb+k : sb+k]
+			if SkipZeroLanes(xs) {
+				continue
+			}
+			for i := g.OutIndex[v]; i < g.OutIndex[v+1]; i++ {
+				db := int(nbrs[i]) * k
+				acc := buf[db : db+k : db+k]
+				for j, x := range xs {
+					acc[j] += x
+				}
+			}
+		}
+	})
+	e.pool.ForStatic(g.NumV, func(w, lo, hi int) {
+		for i := lo * k; i < hi*k; i++ {
+			sum := 0.0
+			for t := range bufs {
+				sum += bufs[t][i]
+			}
+			dst[i] = sum
+		}
+	})
+}
+
+// stepPushPartitionedBatch is the batched GraphGrind push: partitions
+// own disjoint destination ranges, so the K-lane updates need no
+// synchronisation.
+func (e *Engine) stepPushPartitionedBatch(src, dst []float64, k int) {
+	e.zero(dst)
+	pp := e.parts
+	e.forParts(pp.NumParts(), func(w, p int) {
+		part := &pp.Parts[p]
+		for i, u := range part.Srcs {
+			sb := int(u) * k
+			xs := src[sb : sb+k : sb+k]
+			if SkipZeroLanes(xs) {
+				continue
+			}
+			for j := part.Index[i]; j < part.Index[i+1]; j++ {
+				db := int(part.Dsts[j]) * k
+				acc := dst[db : db+k : db+k]
+				for l, x := range xs {
+					acc[l] += x
+				}
+			}
+		}
+	})
+}
+
+// batchBufs returns the per-worker K-wide accumulation buffers of the
+// PushBuffered batch path, (re)allocating when the width changes.
+func (e *Engine) batchBufs(k int) [][]float64 {
+	if e.batchK == k {
+		return e.threadBufsK
+	}
+	e.threadBufsK = make([][]float64, e.pool.Workers())
+	for w := range e.threadBufsK {
+		e.threadBufsK[w] = make([]float64, e.g.NumV*k)
+	}
+	e.batchK = k
+	return e.threadBufsK
+}

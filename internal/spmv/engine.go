@@ -77,6 +77,10 @@ type Engine struct {
 	// threadBufs are the per-worker accumulation buffers of
 	// PushBuffered (each NumV long).
 	threadBufs [][]float64
+	// threadBufsK are the K-wide counterparts used by StepBatch
+	// (each NumV*batchK long), grown on first use of a width.
+	threadBufsK [][]float64
+	batchK      int
 	// parts is the destination-partitioned CSR of PushPartitioned.
 	parts *PushPartitions
 	// partSched is the persistent range-stealing scheduler that claims

@@ -135,7 +135,7 @@ func (e *Engine) stepPushPartitioned(src, dst []float64) {
 		part := &pp.Parts[p]
 		for i, u := range part.Srcs {
 			x := src[u]
-			if x == 0 {
+			if SkipZero(x) {
 				continue
 			}
 			for j := part.Index[i]; j < part.Index[i+1]; j++ {

@@ -6,6 +6,30 @@ import (
 	"unsafe"
 )
 
+// SkipZero reports whether x is positive zero — the ONLY value the
+// push kernels' zero fast path may skip. Every accumulator these
+// kernels feed (per-thread buffers, cleared dst, pull partial sums)
+// starts at +0.0, for which +0.0 is a bit-transparent additive
+// identity, so skipping it cannot change any result. Skipping on
+// x == 0 would also skip negative zero, silently dropping -0.0
+// contributions the pull engines traverse; instead -0.0 is pushed like
+// any other value. All push engines — fused, phased, atomic, buffered,
+// partitioned, and their batched forms — share this predicate so their
+// zero semantics cannot drift apart.
+func SkipZero(x float64) bool { return math.Float64bits(x) == 0 }
+
+// SkipZeroLanes is SkipZero over a batch row: a batched push kernel
+// may skip a source's edges only when every lane carries the
+// skippable +0.0.
+func SkipZeroLanes(xs []float64) bool {
+	for _, x := range xs {
+		if math.Float64bits(x) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // AtomicAddFloat64 adds delta to *addr with a CAS loop — the price
 // push traversal pays to protect concurrent updates to shared
 // destinations (§1: "atomic instructions").
@@ -31,7 +55,7 @@ func (e *Engine) stepPushAtomic(src, dst []float64) {
 		nbrs := g.OutNbrs
 		for v := lo; v < hi; v++ {
 			x := src[v]
-			if x == 0 {
+			if SkipZero(x) {
 				continue
 			}
 			for i := g.OutIndex[v]; i < g.OutIndex[v+1]; i++ {
@@ -62,7 +86,7 @@ func (e *Engine) stepPushBuffered(src, dst []float64) {
 		nbrs := g.OutNbrs
 		for v := lo; v < hi; v++ {
 			x := src[v]
-			if x == 0 {
+			if SkipZero(x) {
 				continue
 			}
 			for i := g.OutIndex[v]; i < g.OutIndex[v+1]; i++ {
