@@ -1,0 +1,136 @@
+// Command ihtlvet runs the repo's static-analysis suite (see
+// internal/analyzers): noalloc, skipzero, atomicfield and parcapture.
+//
+// Usage:
+//
+//	ihtlvet [-json] [-analyzers=noalloc,skipzero,...] [packages]
+//
+// Package patterns follow go vet conventions for this module: "./...",
+// "internal/core/...", directory paths, or full import paths. With no
+// patterns, the whole module is analyzed.
+//
+// Exit codes mirror go vet: 0 when the tree is clean, 1 when any
+// diagnostic is reported, 2 on usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ihtl/internal/analyzers"
+)
+
+// jsonDiagnostic is the stable machine-readable diagnostic shape
+// emitted by -json: a flat array, one element per finding, sorted by
+// file/line/column.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("ihtlvet", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	names := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ihtlvet [-json] [-analyzers=a,b] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	suite := analyzers.All()
+	if *names != "" {
+		var err error
+		suite, err = analyzers.ByName(strings.Split(*names, ","))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ihtlvet: %v\n", err)
+			return 2
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ihtlvet: %v\n", err)
+		return 2
+	}
+	root, err := analyzers.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ihtlvet: %v\n", err)
+		return 2
+	}
+	loader, err := analyzers.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ihtlvet: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ihtlvet: %v\n", err)
+		return 2
+	}
+	diags, err := analyzers.RunAnalyzers(pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ihtlvet: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				Analyzer: d.Analyzer,
+				File:     relTo(root, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "ihtlvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n",
+				relTo(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// relTo shortens path to be relative to root when possible, keeping
+// diagnostics readable and stable across checkouts.
+func relTo(root, path string) string {
+	if rest, ok := strings.CutPrefix(path, root+string(os.PathSeparator)); ok {
+		return rest
+	}
+	return path
+}

@@ -42,7 +42,7 @@ func RunHITS(fwd, rev spmv.Stepper, opt HITSOptions) (HITSResult, error) {
 	if opt.MaxIters == 0 {
 		opt.MaxIters = 50
 	}
-	if opt.Tol == 0 {
+	if opt.Tol == 0 { //ihtl:allow-zerocmp option defaulting, ±0 both mean "unset"
 		opt.Tol = 1e-9
 	}
 	auth := make([]float64, n)
@@ -76,11 +76,19 @@ func RunHITS(fwd, rev spmv.Stepper, opt HITSOptions) (HITSResult, error) {
 // available. The parallel path is ONE dispatch: each worker computes
 // the square-sum of its static range, crosses a spin barrier, and
 // scales the same range by the combined norm — no second dispatch for
-// the scaling pass.
+// the scaling pass. Both worker bodies are prebuilt at construction
+// and the operand vectors staged through fields, so the per-iteration
+// normalize/deltaAndCopy calls are allocation-free (//ihtl:noalloc).
 type normalizer struct {
 	pool    *sched.Pool
 	barrier *sched.Barrier
 	partial []float64
+
+	curV     []float64 // staged operand for normJob
+	curA     []float64 // staged operands for deltaJob
+	curB     []float64
+	normJob  func(w int)
+	deltaJob func(w, lo, hi int)
 }
 
 func newNormalizer(pool *sched.Pool) *normalizer {
@@ -88,45 +96,58 @@ func newNormalizer(pool *sched.Pool) *normalizer {
 	if pool != nil {
 		nrm.barrier = sched.NewBarrier(pool.Workers())
 		nrm.partial = make([]float64, pool.Workers())
+		nrm.normJob = nrm.normWorker
+		nrm.deltaJob = nrm.deltaWorker
 	}
 	return nrm
 }
 
+//ihtl:noalloc
 func (nrm *normalizer) normalize(v []float64) {
 	if nrm.pool == nil || len(v) < len(nrm.partial) {
 		normalizeSeq(v)
 		return
 	}
-	nrm.pool.Run(func(w int) {
-		lo, hi := sched.SplitRange(len(v), nrm.pool.Workers(), w)
-		sum := 0.0
-		for i := lo; i < hi; i++ {
-			sum += v[i] * v[i]
-		}
-		nrm.partial[w] = sum
-		nrm.barrier.Wait()
-		norm := 0.0
-		for _, p := range nrm.partial {
-			norm += p
-		}
-		norm = math.Sqrt(norm)
-		if norm == 0 {
-			return
-		}
-		inv := 1 / norm
-		for i := lo; i < hi; i++ {
-			v[i] *= inv
-		}
-	})
+	nrm.curV = v
+	nrm.pool.Run(nrm.normJob)
+	nrm.curV = nil
 }
 
+// normWorker is one worker's share of a normalize dispatch: square-sum
+// the static range, meet at the barrier, scale the same range.
+//
+//ihtl:noalloc
+func (nrm *normalizer) normWorker(w int) {
+	v := nrm.curV
+	lo, hi := sched.SplitRange(len(v), nrm.pool.Workers(), w)
+	sum := 0.0
+	for i := lo; i < hi; i++ {
+		sum += v[i] * v[i]
+	}
+	nrm.partial[w] = sum
+	nrm.barrier.Wait()
+	norm := 0.0
+	for _, p := range nrm.partial {
+		norm += p
+	}
+	norm = math.Sqrt(norm)
+	if spmv.SkipZero(norm) {
+		return
+	}
+	inv := 1 / norm
+	for i := lo; i < hi; i++ {
+		v[i] *= inv
+	}
+}
+
+//ihtl:noalloc
 func normalizeSeq(v []float64) {
 	var norm float64
 	for _, x := range v {
 		norm += x * x
 	}
 	norm = math.Sqrt(norm)
-	if norm == 0 {
+	if spmv.SkipZero(norm) {
 		return
 	}
 	inv := 1 / norm
@@ -136,6 +157,8 @@ func normalizeSeq(v []float64) {
 }
 
 // deltaAndCopy returns Σ|a[i]-b[i]| and copies b into a, in one sweep.
+//
+//ihtl:noalloc
 func (nrm *normalizer) deltaAndCopy(a, b []float64) float64 {
 	if nrm.pool == nil || len(a) < len(nrm.partial) {
 		d := 0.0
@@ -145,17 +168,25 @@ func (nrm *normalizer) deltaAndCopy(a, b []float64) float64 {
 		}
 		return d
 	}
-	nrm.pool.ForStatic(len(a), func(w, lo, hi int) {
-		d := 0.0
-		for i := lo; i < hi; i++ {
-			d += math.Abs(a[i] - b[i])
-			a[i] = b[i]
-		}
-		nrm.partial[w] = d
-	})
+	nrm.curA, nrm.curB = a, b
+	nrm.pool.ForStatic(len(a), nrm.deltaJob)
+	nrm.curA, nrm.curB = nil, nil
 	delta := 0.0
 	for _, d := range nrm.partial {
 		delta += d
 	}
 	return delta
+}
+
+// deltaWorker is one worker's share of a deltaAndCopy dispatch.
+//
+//ihtl:noalloc
+func (nrm *normalizer) deltaWorker(w, lo, hi int) {
+	a, b := nrm.curA, nrm.curB
+	d := 0.0
+	for i := lo; i < hi; i++ {
+		d += math.Abs(a[i] - b[i])
+		a[i] = b[i]
+	}
+	nrm.partial[w] = d
 }

@@ -35,13 +35,13 @@ type PageRankOptions struct {
 }
 
 func (o PageRankOptions) withDefaults() PageRankOptions {
-	if o.Damping == 0 {
+	if o.Damping == 0 { //ihtl:allow-zerocmp option defaulting, ±0 both mean "unset"
 		o.Damping = 0.85
 	}
 	if o.MaxIters == 0 {
 		o.MaxIters = 100
 	}
-	if o.Tol == 0 {
+	if o.Tol == 0 { //ihtl:allow-zerocmp option defaulting, ±0 both mean "unset"
 		o.Tol = 1e-9
 	}
 	return o
@@ -187,6 +187,8 @@ type fusedStepper interface {
 
 // SumRanks returns the total rank mass (≈1 when dangling mass is
 // redistributed; below 1 otherwise).
+//
+//ihtl:noalloc
 func SumRanks(ranks []float64) float64 {
 	s := 0.0
 	for _, r := range ranks {

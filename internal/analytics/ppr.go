@@ -179,6 +179,8 @@ func RunPersonalizedPageRank(e spmv.BatchStepper, outDeg []int, pool *sched.Pool
 
 // bodyInto is the per-vertex-range PPR update, accumulating per-lane
 // delta and dangling mass into the caller's slices.
+//
+//ihtl:noalloc
 func bodyInto(lo, hi, k int, o PageRankOptions, ranks, sums, baseVec, contrib, invDeg []float64, outDeg []int, delta, dangl []float64) {
 	for v := lo; v < hi; v++ {
 		vb := v * k
@@ -197,6 +199,7 @@ func bodyInto(lo, hi, k int, o PageRankOptions, ranks, sums, baseVec, contrib, i
 	}
 }
 
+//ihtl:noalloc
 func maxOf(v []float64) float64 {
 	m := math.Inf(-1)
 	for _, x := range v {

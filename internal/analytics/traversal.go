@@ -144,6 +144,8 @@ func ConnectedComponents(g *graph.Graph, pool *sched.Pool) []graph.VID {
 // substrate stores no weights (the paper's datasets are unweighted);
 // SSSP needs some, and hashing keeps them reproducible without
 // storing per-edge data.
+//
+//ihtl:noalloc
 func EdgeWeight(u, v graph.VID) int64 {
 	return int64(xrand.Mix64(uint64(u)<<32|uint64(v))%256) + 1
 }

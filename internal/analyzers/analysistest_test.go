@@ -1,0 +1,88 @@
+package analyzers
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runAnalyzerTest is a tiny analysistest: it loads the package in
+// testdata/src/<name>, runs the analyzer, and checks every diagnostic
+// against `// want "regexp"` comments. Each want comment expects
+// exactly one diagnostic whose message matches the regexp on that
+// line; unexpected diagnostics and unmatched wants both fail the test.
+func runAnalyzerTest(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "analyzers", "testdata", "src", name)
+	pkg, err := l.LoadDir(dir, "ihtlvet.test/"+name)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		w, ok := wants[key]
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+			continue
+		}
+		if !w.re.MatchString(d.Message) {
+			t.Errorf("diagnostic at %s does not match want %q: %s", key, w.re, d.Message)
+		}
+		w.hits++
+	}
+	for key, w := range wants {
+		if w.hits == 0 {
+			t.Errorf("no diagnostic at %s matching %q", key, w.re)
+		}
+	}
+}
+
+type want struct {
+	re   *regexp.Regexp
+	hits int
+}
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+[\"`](.+)[\"`]")
+
+// collectWants scans the package's comments for `// want "re"` markers
+// keyed by file:line.
+func collectWants(t *testing.T, pkg *Package) map[string]*want {
+	t.Helper()
+	wants := make(map[string]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "want") && strings.Contains(c.Text, "\"") {
+						t.Fatalf("malformed want comment: %s", c.Text)
+					}
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = &want{re: re}
+			}
+		}
+	}
+	return wants
+}

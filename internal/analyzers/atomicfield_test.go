@@ -1,0 +1,7 @@
+package analyzers
+
+import "testing"
+
+func TestAtomicField(t *testing.T) {
+	runAnalyzerTest(t, AtomicField, "atomicfield")
+}

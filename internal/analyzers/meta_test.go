@@ -1,0 +1,109 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestNoAllocCoversAllocsPerRunPins asserts that every method pinned
+// alloc-free by a testing.AllocsPerRun test somewhere in the module
+// carries the //ihtl:noalloc annotation, so the static pass guards the
+// same set the runtime pins do — but at every call shape, not just the
+// benchmarked one. Purely syntactic: it scans _test.go files for
+// AllocsPerRun closures and records the method names they invoke, then
+// scans non-test files for annotated declarations of those names.
+func TestNoAllocCoversAllocsPerRunPins(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	pinned := make(map[string][]string) // method name -> pinning positions
+	annotated := make(map[string]bool)  // annotated FuncDecl names
+
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(path, "_test.go") {
+			collectAllocsPerRunPins(fset, f, pinned)
+			return nil
+		}
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && funcHasDirective(fn, "noalloc") {
+				annotated[fn.Name.Name] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pinned) == 0 {
+		t.Fatal("found no testing.AllocsPerRun pins in the module; the meta-test is miswired")
+	}
+	var names []string
+	for name := range pinned {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !annotated[name] {
+			t.Errorf("%s is pinned alloc-free by AllocsPerRun at %s but has no //ihtl:noalloc annotation",
+				name, strings.Join(pinned[name], ", "))
+		}
+	}
+}
+
+// collectAllocsPerRunPins records, for each testing.AllocsPerRun call
+// in f, the method names invoked inside its closure argument.
+func collectAllocsPerRunPins(fset *token.FileSet, f *ast.File, pinned map[string][]string) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "AllocsPerRun" {
+			return true
+		}
+		lit, ok := call.Args[1].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if s, ok := inner.Fun.(*ast.SelectorExpr); ok {
+				pos := fset.Position(inner.Pos())
+				pinned[s.Sel.Name] = append(pinned[s.Sel.Name],
+					filepath.Base(pos.Filename)+":"+strconv.Itoa(pos.Line))
+			}
+			return true
+		})
+		return true
+	})
+}

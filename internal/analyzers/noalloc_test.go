@@ -1,0 +1,7 @@
+package analyzers
+
+import "testing"
+
+func TestNoAlloc(t *testing.T) {
+	runAnalyzerTest(t, NoAlloc, "noalloc")
+}

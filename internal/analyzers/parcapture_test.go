@@ -1,0 +1,7 @@
+package analyzers
+
+import "testing"
+
+func TestParCapture(t *testing.T) {
+	runAnalyzerTest(t, ParCapture, "parcapture")
+}

@@ -1,0 +1,97 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// skipZeroPackages are the packages whose float64 code handles vertex
+// data and therefore must test for skippable zeros with spmv.SkipZero
+// (bitwise: +0.0 only) instead of ==/!= 0, which also matches -0.0 —
+// a value the pull engines traverse and the push engines must
+// therefore traverse too, or results drift between kernels. Files
+// elsewhere can opt in with a //ihtl:pushkernel directive; individual
+// intentional comparisons (e.g. option defaulting, where ±0 both mean
+// "unset") are silenced with //ihtl:allow-zerocmp <reason>.
+var skipZeroPackages = map[string]bool{
+	"ihtl/internal/spmv":      true,
+	"ihtl/internal/core":      true,
+	"ihtl/internal/analytics": true,
+}
+
+// SkipZero flags raw ==/!= comparisons of float64 expressions against
+// zero inside push-kernel packages.
+var SkipZero = &Analyzer{
+	Name: "skipzero",
+	Doc:  "require spmv.SkipZero for float64 zero tests in push-kernel packages",
+	Run:  runSkipZero,
+}
+
+func runSkipZero(pass *Pass) error {
+	inScopePkg := skipZeroPackages[pass.Pkg.Path()]
+	for _, f := range pass.Files {
+		if !inScopePkg && !fileHasDirective(f, "pushkernel") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			var fl ast.Expr // the float64 operand
+			switch {
+			case isFloat64(pass.typeOf(be.X)) && isConstZero(pass, be.Y):
+				fl = be.X
+			case isFloat64(pass.typeOf(be.Y)) && isConstZero(pass, be.X):
+				fl = be.Y
+			default:
+				return true
+			}
+			if pass.suppressed(be.Pos(), "allow-zerocmp") {
+				return true
+			}
+			pass.Reportf(be.Pos(), "raw float64 %s 0 comparison on %s also matches -0.0; use spmv.SkipZero (bitwise +0.0) or silence with //ihtl:allow-zerocmp <reason>",
+				be.Op, exprString(pass, fl))
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat64(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Float64 || b.Kind() == types.Float32 || b.Kind() == types.UntypedFloat)
+}
+
+// isConstZero reports whether e is a numeric constant equal to zero.
+func isConstZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// exprString renders a short source form of e for diagnostics.
+func exprString(pass *Pass, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(pass, e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(pass, e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(pass, e.Fun) + "(...)"
+	}
+	return "expression"
+}

@@ -1,0 +1,7 @@
+package analyzers
+
+import "testing"
+
+func TestSkipZero(t *testing.T) {
+	runAnalyzerTest(t, SkipZero, "skipzero")
+}

@@ -1,0 +1,38 @@
+// Package atomicfield seeds violations for the atomicfield analyzer.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	hits   int64
+	misses int64
+	label  string
+}
+
+func (c *counter) Hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) Snapshot() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counter) BadRead() int64 {
+	return c.hits // want `updated atomically .* but accessed here without sync/atomic`
+}
+
+func (c *counter) BadWrite() {
+	c.hits = 0 // want `updated atomically .* but accessed here without sync/atomic`
+}
+
+func (c *counter) Reset() {
+	c.hits = 0 //ihtl:allow-plain re-initialised before workers exist
+}
+
+func (c *counter) Miss() {
+	c.misses++ // never touched atomically: fine
+}
+
+func (c *counter) Label() string {
+	return c.label
+}

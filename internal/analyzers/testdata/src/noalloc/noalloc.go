@@ -1,0 +1,90 @@
+// Package noalloc seeds violations for the noalloc analyzer.
+package noalloc
+
+import "fmt"
+
+var global []int
+
+var sink any
+
+type pair struct{ a, b int }
+
+// helperAllocs is deliberately unannotated: annotated callers may call
+// it (the construction-time escape hatch).
+func helperAllocs(n int) []int { return make([]int, n) }
+
+//ihtl:noalloc
+func badMakeNew(n int) {
+	s := make([]int, n) // want `calls make`
+	_ = s
+	p := new(int) // want `calls new`
+	_ = p
+}
+
+//ihtl:noalloc
+func badAppend(n int) {
+	global = append(global, n) // want `calls append`
+}
+
+//ihtl:noalloc
+func badClosure(x int) func() int {
+	return func() int { return x } // want `function literal`
+}
+
+//ihtl:noalloc
+func badGo() {
+	go helperAllocs(1) // want `starts a goroutine`
+}
+
+//ihtl:noalloc
+func badFmt(x int) {
+	fmt.Println(x) // want `calls fmt.Println`
+}
+
+//ihtl:noalloc
+func badLiterals() {
+	m := map[int]int{} // want `map literal`
+	m[1] = 2           // want `writes to a map`
+	_ = []int{1, 2}    // want `slice literal`
+}
+
+//ihtl:noalloc
+func badAddrOf() *pair {
+	return &pair{1, 2} // want `heap-allocates a composite literal`
+}
+
+//ihtl:noalloc
+func badConcat(a, b string) string {
+	return a + b // want `concatenates strings`
+}
+
+//ihtl:noalloc
+func badStringConv(b []byte) string {
+	return string(b) // want `converts a slice to string`
+}
+
+//ihtl:noalloc
+func badBoxAssign(v int) {
+	sink = v // want `boxing allocates`
+}
+
+//ihtl:noalloc
+func badBoxReturn(v int) any {
+	return v // want `boxing allocates`
+}
+
+//ihtl:noalloc
+func good(dst, src []float64) {
+	for i := range src {
+		dst[i] = 2 * src[i]
+	}
+	_ = pair{3, 4} // struct value literal: stack, not flagged
+	if len(dst) == 0 {
+		panic("empty dst") // builtin with constant arg: not flagged
+	}
+}
+
+//ihtl:noalloc
+func goodEscapeHatch(n int) int {
+	return len(helperAllocs(n)) // unannotated callee: allowed
+}

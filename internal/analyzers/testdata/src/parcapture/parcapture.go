@@ -1,0 +1,66 @@
+// Package parcapture seeds violations for the parcapture analyzer.
+package parcapture
+
+import "ihtl/internal/sched"
+
+type state struct {
+	total float64
+	slots []float64
+}
+
+func bad(p *sched.Pool, xs []float64) float64 {
+	total := 0.0
+	j := 3
+	out := make([]float64, len(xs))
+	seen := map[int]bool{}
+	p.ForStatic(len(xs), func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			total += xs[i] // want `captured variable total`
+			out[j] = xs[i] // want `captured slice out`
+			seen[i] = true // want `captured map seen`
+		}
+	})
+	return total
+}
+
+func badPointer(p *sched.Pool, flag *bool) {
+	p.Run(func(worker int) {
+		*flag = true // want `captured pointer flag`
+	})
+}
+
+func badField(p *sched.Pool, st *state) {
+	p.ForSteal(100, 10, func(worker, lo, hi int) {
+		st.total = 1 // want `field total of captured st`
+	})
+}
+
+func good(p *sched.Pool, xs []float64) float64 {
+	partial := make([]float64, p.Workers())
+	out := make([]float64, len(xs))
+	chunks := make([][]int, p.Workers())
+	p.ForStealWith(nil, len(xs), 64, func(worker, lo, hi int) {
+		sum := 0.0 // callback-local: fine
+		for i := lo; i < hi; i++ {
+			sum += xs[i]
+			out[i] = 2 * xs[i]                         // range-derived index: fine
+			chunks[worker] = append(chunks[worker], i) // worker slot: fine
+		}
+		partial[worker] += sum // worker slot: fine
+	})
+	total := 0.0
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+func suppressed(p *sched.Pool, xs []float64) {
+	first := 0.0
+	p.Run(func(worker int) {
+		if worker == 0 {
+			first = xs[0] //ihtl:allow-capture single writer by construction
+		}
+	})
+	_ = first
+}

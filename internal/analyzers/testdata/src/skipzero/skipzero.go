@@ -1,0 +1,39 @@
+// Package skipzero seeds violations for the skipzero analyzer. The
+// package lives outside the push-kernel packages, so it opts in with
+// the file directive below.
+//
+//ihtl:pushkernel
+package skipzero
+
+func badEq(x float64) bool {
+	return x == 0 // want `also matches -0.0`
+}
+
+func badNeq(ys []float64) int {
+	n := 0
+	for _, y := range ys {
+		if y != 0 { // want `also matches -0.0`
+			n++
+		}
+	}
+	return n
+}
+
+func badReversed(x float64) bool {
+	return 0.0 == x // want `also matches -0.0`
+}
+
+func suppressed(tol float64) float64 {
+	if tol == 0 { //ihtl:allow-zerocmp ±0 both mean "use the default"
+		tol = 1e-9
+	}
+	return tol
+}
+
+func intsAreFine(a int) bool {
+	return a == 0
+}
+
+func nonZeroFine(x float64) bool {
+	return x == 1.0
+}

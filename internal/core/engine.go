@@ -301,6 +301,8 @@ func (e *Engine) TakeBreakdown() Breakdown {
 
 // Step computes dst[v] = Σ_{u ∈ N⁻(v)} src[u] in iHTL ID space.
 // src and dst must have length NumV and must not alias.
+//
+//ihtl:noalloc
 func (e *Engine) Step(src, dst []float64) { e.StepEpi(src, dst, nil) }
 
 // StepEpi is Step followed by an element-wise epilogue: every worker
@@ -310,6 +312,8 @@ func (e *Engine) Step(src, dst []float64) { e.StepEpi(src, dst, nil) }
 // whole analytic iteration — SpMV plus e.g. PageRank's damping/delta/
 // contribution sweep — costs a single pool round-trip. The phased
 // pipeline runs it as a separate dispatch. epi may be nil.
+//
+//ihtl:noalloc
 func (e *Engine) StepEpi(src, dst []float64, epi func(w, lo, hi int)) {
 	ih := e.ih
 	if len(src) != ih.NumV || len(dst) != ih.NumV {
@@ -334,6 +338,8 @@ func (e *Engine) StepEpi(src, dst []float64, epi func(w, lo, hi int)) {
 
 // stepFused runs all of Algorithm 3 as one pool dispatch; see
 // fusedWorkerBuffered for the worker body.
+//
+//ihtl:noalloc
 func (e *Engine) stepFused(src, dst []float64) {
 	start := time.Now()
 	e.flipSched.Reset(len(e.blockTasks))
@@ -371,6 +377,8 @@ func (e *Engine) stepFused(src, dst []float64) {
 // Phase clocks are read once per loop, not per task: flipped busy time
 // is the whole claim loop (steal overhead included) minus the merges
 // nested inside it.
+//
+//ihtl:noalloc
 func (e *Engine) fusedWorkerBuffered(w int) {
 	ih := e.ih
 	src, dst := e.curSrc, e.curDst
@@ -439,6 +447,8 @@ func (e *Engine) fusedWorkerBuffered(w int) {
 // barrier is required because the epilogue may read any dst element,
 // while phases 1-3 only guarantee completion of the whole vector at
 // dispatch end.
+//
+//ihtl:noalloc
 func (e *Engine) runEpilogue(w int) {
 	if e.curEpi == nil {
 		return
@@ -454,6 +464,8 @@ func (e *Engine) runEpilogue(w int) {
 // buffer slots and dirty entries of b stable and the hub range
 // exclusively owned. Merge cost is proportional to the hub ranges
 // actually written, not workers x NumHubs.
+//
+//ihtl:noalloc
 func (e *Engine) mergeBlock(b int, dst []float64) {
 	fb := &e.ih.Blocks[b]
 	clear(dst[fb.HubLo:fb.HubHi])
@@ -476,6 +488,8 @@ func (e *Engine) mergeBlock(b int, dst []float64) {
 // cooperative hub zeroing, a spin barrier (CAS pushes must not start
 // before every hub slot is cleared), stolen flipped tasks with CAS
 // updates, then the sparse pull.
+//
+//ihtl:noalloc
 func (e *Engine) fusedWorkerAtomic(w int) {
 	ih := e.ih
 	src, dst := e.curSrc, e.curDst
@@ -518,6 +532,8 @@ func (e *Engine) fusedWorkerAtomic(w int) {
 // sparseWorker drains the sparse-block pull via range stealing over
 // the precomputed edge-balanced partitions. The caller times the whole
 // drain.
+//
+//ihtl:noalloc
 func (e *Engine) sparseWorker(w int, src, dst []float64) {
 	nparts := len(e.sparseBounds) - 1
 	if nparts <= 0 {
@@ -545,6 +561,8 @@ func (e *Engine) sparseWorker(w int, src, dst []float64) {
 // harvestClocks folds the per-worker phase clocks into the breakdown
 // and resets them. Called after the dispatch completes, so no worker
 // is concurrently writing.
+//
+//ihtl:noalloc
 func (e *Engine) harvestClocks() {
 	for w := range e.clocks {
 		c := &e.clocks[w]

@@ -72,6 +72,8 @@ func (e *Engine) ensureBatch(k int) *batchState {
 // vertex v and lane j < k, in iHTL ID space. src and dst must have
 // length NumV*k, be vertex-major interleaved, and must not alias.
 // k == 1 delegates to the scalar Step.
+//
+//ihtl:noalloc
 func (e *Engine) StepBatch(src, dst []float64, k int) {
 	e.StepBatchEpi(src, dst, k, nil)
 }
@@ -83,6 +85,8 @@ func (e *Engine) StepBatch(src, dst []float64, k int) {
 // the fused pipeline the epilogue runs inside the same dispatch, so a
 // whole K-source analytic iteration costs a single pool round-trip.
 // epi may be nil.
+//
+//ihtl:noalloc
 func (e *Engine) StepBatchEpi(src, dst []float64, k int, epi func(w, lo, hi int)) {
 	if k == 1 {
 		e.StepEpi(src, dst, epi)
@@ -114,6 +118,8 @@ func (e *Engine) StepBatchEpi(src, dst []float64, k int, epi func(w, lo, hi int)
 }
 
 // stepFusedBatch mirrors stepFused for a K-wide dispatch.
+//
+//ihtl:noalloc
 func (e *Engine) stepFusedBatch(b *batchState, src, dst []float64) {
 	start := time.Now()
 	e.flipSched.Reset(len(e.blockTasks))
@@ -134,6 +140,8 @@ func (e *Engine) stepFusedBatch(b *batchState, src, dst []float64) {
 // same task claiming, dirty-range widening, countdown-gated merges and
 // barrier-free flow into the sparse pull — only the accumulation is
 // over buf[d*k : d*k+k] instead of buf[d].
+//
+//ihtl:noalloc
 func (e *Engine) fusedWorkerBufferedBatch(b *batchState, w int) {
 	ih := e.ih
 	k := b.k
@@ -206,6 +214,8 @@ func (e *Engine) fusedWorkerBufferedBatch(b *batchState, w int) {
 // Same ownership argument as mergeBlock: the caller holds the block's
 // completion, and hub h's lanes [h*k, h*k+k) are dirty or clean as a
 // unit because the dirty ranges track hubs, not lanes.
+//
+//ihtl:noalloc
 func (e *Engine) mergeBlockBatch(b *batchState, blk int, dst []float64) {
 	fb := &e.ih.Blocks[blk]
 	k := b.k
@@ -229,6 +239,8 @@ func (e *Engine) mergeBlockBatch(b *batchState, blk int, dst []float64) {
 // worker: cooperative lane-aligned hub zeroing, the clear barrier,
 // stolen flipped tasks with K CAS updates per edge, then the batched
 // sparse pull.
+//
+//ihtl:noalloc
 func (e *Engine) fusedWorkerAtomicBatch(b *batchState, w int) {
 	ih := e.ih
 	k := b.k
@@ -276,6 +288,8 @@ func (e *Engine) fusedWorkerAtomicBatch(b *batchState, w int) {
 // sparseWorkerBatch drains the sparse-block pull with K partial sums
 // accumulated in place in dst's contiguous lane row, which each
 // destination owns exclusively.
+//
+//ihtl:noalloc
 func (e *Engine) sparseWorkerBatch(w, k int, src, dst []float64) {
 	nparts := len(e.sparseBounds) - 1
 	if nparts <= 0 {

@@ -72,6 +72,8 @@ func NewGenericEngine[T any](ih *IHTL, pool *sched.Pool, m spmv.Monoid[T]) (*Gen
 func (e *GenericEngine[T]) NumVertices() int { return e.ih.NumV }
 
 // StepMonoid implements spmv.GenericStepper over iHTL IDs.
+//
+//ihtl:noalloc
 func (e *GenericEngine[T]) StepMonoid(src, dst []T) {
 	ih := e.ih
 	if len(src) != ih.NumV || len(dst) != ih.NumV {
@@ -91,6 +93,8 @@ func (e *GenericEngine[T]) StepMonoid(src, dst []T) {
 // monoid: stolen flipped tasks accumulate into the worker's private
 // buffer with dirty-range tracking, the block's last finisher merges
 // it, and exhausted workers move straight on to the sparse pull.
+//
+//ihtl:noalloc
 func (e *GenericEngine[T]) fusedWorker(w int) {
 	ih := e.ih
 	m := e.m
@@ -171,6 +175,8 @@ func (e *GenericEngine[T]) fusedWorker(w int) {
 // mergeBlock folds the dirty hub ranges of block b into dst and resets
 // the consumed buffer slots to Identity. Skipping untouched buffers is
 // sound because Combine(acc, Identity) == acc.
+//
+//ihtl:noalloc
 func (e *GenericEngine[T]) mergeBlock(b int, dst []T) {
 	m := e.m
 	fb := &e.ih.Blocks[b]

@@ -115,7 +115,7 @@ func (p Params) withDefaults() Params {
 	if p.HubsPerBlock == 0 {
 		p.HubsPerBlock = p.CacheBytes / p.VertexBytes
 	}
-	if p.FVThreshold == 0 {
+	if p.FVThreshold == 0 { //ihtl:allow-zerocmp option defaulting, ±0 both mean "unset"
 		p.FVThreshold = 0.5
 	}
 	if p.MaxBlocks == 0 {

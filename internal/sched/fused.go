@@ -33,6 +33,8 @@ func NewBarrier(n int) *Barrier {
 
 // Wait blocks until all n participants have called Wait, then releases
 // them all. The barrier is immediately reusable for the next phase.
+//
+//ihtl:noalloc
 func (b *Barrier) Wait() {
 	gen := b.sense.Load()
 	if b.arrived.Add(1) == b.n {
@@ -64,10 +66,14 @@ func NewCountdowns(n int) *Countdowns {
 }
 
 // Len returns the number of latches.
+//
+//ihtl:noalloc
 func (c *Countdowns) Len() int { return len(c.counts) }
 
 // Reset arms every latch with its count from per (len(per) must equal
 // Len). It must not race with Done.
+//
+//ihtl:noalloc
 func (c *Countdowns) Reset(per []int) {
 	if len(per) != len(c.counts) {
 		panic("sched: Countdowns.Reset length mismatch")
@@ -82,6 +88,8 @@ func (c *Countdowns) Reset(per []int) {
 // goroutines whose Done calls preceded the releasing one
 // happens-before the release, per the Go memory model's atomics
 // guarantee.
+//
+//ihtl:noalloc
 func (c *Countdowns) Done(i int) bool {
 	return c.counts[i].Add(-1) == 0
 }

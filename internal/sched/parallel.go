@@ -1,7 +1,5 @@
 package sched
 
-import "sync/atomic"
-
 // defaultGrain is the default minimum number of loop iterations a
 // worker claims at once in dynamic schedules. It is large enough to
 // amortise the atomic fetch-add, small enough to load-balance the
@@ -11,22 +9,22 @@ const defaultGrain = 1024
 // ForStatic splits [0, n) into one contiguous range per worker and
 // runs fn(worker, lo, hi) on each. Ranges differ in size by at most
 // one. It blocks until all workers finish. Static scheduling is used
-// where per-element work is uniform (e.g. buffer merging).
+// where per-element work is uniform (e.g. buffer merging). The split
+// happens inside the pool workers, so the call allocates nothing.
+//
+//ihtl:noalloc
 func (p *Pool) ForStatic(n int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	p.Run(func(w int) {
-		lo, hi := splitRange(n, p.workers, w)
-		if lo < hi {
-			fn(w, lo, hi)
-		}
-	})
+	p.dispatch(job{staticN: n, rangeFn: fn})
 }
 
 // SplitRange returns the w-th of p near-equal contiguous subranges of
 // [0, n) — the static split ForStatic uses, exported for callers that
 // partition work inside a fused Pool.Run region.
+//
+//ihtl:noalloc
 func SplitRange(n, p, w int) (lo, hi int) { return splitRange(n, p, w) }
 
 // SplitRangeStride returns the w-th of p near-equal contiguous,
@@ -35,6 +33,8 @@ func SplitRange(n, p, w int) (lo, hi int) { return splitRange(n, p, w) }
 // each of n items owns stride consecutive lanes (x[v*stride+j]) and a
 // split must never separate an item from its lanes: the flat bounds
 // are the SplitRange vertex bounds scaled by the stride.
+//
+//ihtl:noalloc
 func SplitRangeStride(n, stride, p, w int) (lo, hi int) {
 	vlo, vhi := splitRange(n, p, w)
 	return vlo * stride, vhi * stride
@@ -42,6 +42,8 @@ func SplitRangeStride(n, stride, p, w int) (lo, hi int) {
 
 // splitRange returns the w-th of p near-equal contiguous subranges
 // of [0, n).
+//
+//ihtl:noalloc
 func splitRange(n, p, w int) (lo, hi int) {
 	q, r := n/p, n%p
 	lo = w*q + min(w, r)
@@ -55,7 +57,11 @@ func splitRange(n, p, w int) (lo, hi int) {
 // ForDynamic runs fn(worker, lo, hi) over chunks of [0, n) claimed
 // with an atomic counter (guided self-scheduling). grain is the chunk
 // size; grain <= 0 selects a default. Dynamic scheduling load-balances
-// skewed work such as per-vertex edge loops.
+// skewed work such as per-vertex edge loops. The claim loop runs
+// inside the pool workers over the pool's reusable counter, so the
+// call allocates nothing.
+//
+//ihtl:noalloc
 func (p *Pool) ForDynamic(n, grain int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
@@ -63,20 +69,7 @@ func (p *Pool) ForDynamic(n, grain int, fn func(worker, lo, hi int)) {
 	if grain <= 0 {
 		grain = defaultGrain
 	}
-	var next atomic.Int64
-	p.Run(func(w int) {
-		for {
-			lo := int(next.Add(int64(grain))) - grain
-			if lo >= n {
-				return
-			}
-			hi := lo + grain
-			if hi > n {
-				hi = n
-			}
-			fn(w, lo, hi)
-		}
-	})
+	p.dispatch(job{dynN: n, grain: grain, rangeFn: fn})
 }
 
 // ForEachPart runs fn(worker, part) for every part in [0, nparts),
@@ -84,22 +77,16 @@ func (p *Pool) ForDynamic(n, grain int, fn func(worker, lo, hi int)) {
 // pre-computed edge-balanced partitions: each part is claimed by
 // exactly one worker at a time, matching the paper's requirement that
 // "each thread should process only one flipped block at a time".
+//
+//ihtl:noalloc
 func (p *Pool) ForEachPart(nparts int, fn func(worker, part int)) {
 	if nparts <= 0 {
 		return
 	}
-	var next atomic.Int64
-	p.Run(func(w int) {
-		for {
-			part := int(next.Add(1)) - 1
-			if part >= nparts {
-				return
-			}
-			fn(w, part)
-		}
-	})
+	p.dispatch(job{dynN: nparts, partFn: fn})
 }
 
+//ihtl:noalloc
 func min(a, b int) int {
 	if a < b {
 		return a

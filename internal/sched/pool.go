@@ -36,17 +36,28 @@ type Pool struct {
 	// need several schedulers in one fused region hold their own and
 	// use ForStealWith).
 	steal *StealScheduler
+	// dyn is the reusable claim counter behind ForDynamic/ForEachPart,
+	// reset by dispatch. Reuse is safe because dispatches are
+	// single-orchestrator: no two jobs are in flight at once.
+	dyn atomic.Int64
 }
 
-// job is one worker's share of a dispatch. fn != nil selects a plain
-// run; otherwise the worker drains rangeFn over chunks claimed from
-// steal — keeping the claim loop in the worker avoids allocating a
-// closure per steal dispatch.
+// job is one worker's share of a dispatch. Exactly one mode is set:
+// fn selects a plain run; steal drains rangeFn over chunks claimed
+// from the scheduler; partFn drains single parts claimed from the
+// pool's dyn counter; dynN (with partFn nil) drains grain-sized chunks
+// from dyn; staticN runs rangeFn once on the worker's static split.
+// Keeping every claim loop in the worker, and the schedule parameters
+// in this by-value struct, makes ALL parallel-for dispatches
+// allocation-free — no per-call closure wraps the caller's fn.
 type job struct {
 	fn      func(worker int)
 	steal   *StealScheduler
 	grain   int
 	rangeFn func(worker, lo, hi int)
+	partFn  func(worker, part int)
+	staticN int
+	dynN    int
 	done    *sync.WaitGroup
 	id      int
 }
@@ -69,17 +80,44 @@ func NewPool(workers int) *Pool {
 	return p
 }
 
+//ihtl:noalloc
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for j := range p.jobs {
-		if j.fn != nil {
+		switch {
+		case j.fn != nil:
 			j.fn(j.id)
-		} else {
+		case j.steal != nil:
 			for {
 				lo, hi, ok := j.steal.Next(j.id, j.grain)
 				if !ok {
 					break
 				}
+				j.rangeFn(j.id, lo, hi)
+			}
+		case j.partFn != nil:
+			for {
+				part := int(p.dyn.Add(1)) - 1
+				if part >= j.dynN {
+					break
+				}
+				j.partFn(j.id, part)
+			}
+		case j.dynN > 0:
+			for {
+				lo := int(p.dyn.Add(int64(j.grain))) - j.grain
+				if lo >= j.dynN {
+					break
+				}
+				hi := lo + j.grain
+				if hi > j.dynN {
+					hi = j.dynN
+				}
+				j.rangeFn(j.id, lo, hi)
+			}
+		default:
+			lo, hi := splitRange(j.staticN, p.workers, j.id)
+			if lo < hi {
 				j.rangeFn(j.id, lo, hi)
 			}
 		}
@@ -93,15 +131,20 @@ func (p *Pool) Workers() int { return p.workers }
 // Run executes fn once on every worker concurrently, passing each
 // worker its id in [0, Workers()), and blocks until all return.
 // It is the primitive on which the parallel-for schedules are built.
+//
+//ihtl:noalloc
 func (p *Pool) Run(fn func(worker int)) {
 	p.dispatch(job{fn: fn})
 }
 
 // dispatch fans the job template out to every worker and waits.
+//
+//ihtl:noalloc
 func (p *Pool) dispatch(tmpl job) {
 	if p.closed.Load() {
 		panic("sched: Run on closed Pool")
 	}
+	p.dyn.Store(0)
 	tmpl.done = &p.done
 	p.done.Add(p.workers)
 	for w := 0; w < p.workers; w++ {

@@ -31,6 +31,8 @@ func NewStealScheduler(workers int) *StealScheduler {
 
 // Reset redistributes [0, n) across workers. It must be called before
 // each parallel loop and not concurrently with Next.
+//
+//ihtl:noalloc
 func (s *StealScheduler) Reset(n int) {
 	w := len(s.ranges)
 	for i := range s.ranges {
@@ -43,6 +45,8 @@ func (s *StealScheduler) Reset(n int) {
 // Next claims a chunk of at most grain iterations for the given
 // worker, stealing from the most loaded victim when the local range
 // is exhausted. It returns ok=false when no work remains anywhere.
+//
+//ihtl:noalloc
 func (s *StealScheduler) Next(worker, grain int) (lo, hi int, ok bool) {
 	if lo, hi, ok = s.take(worker, grain); ok {
 		return lo, hi, true
@@ -72,6 +76,8 @@ func (s *StealScheduler) Next(worker, grain int) (lo, hi int, ok bool) {
 }
 
 // take pops up to grain iterations from the front of worker's range.
+//
+//ihtl:noalloc
 func (s *StealScheduler) take(worker, grain int) (int, int, bool) {
 	r := &s.ranges[worker]
 	r.mu.Lock()
@@ -90,6 +96,8 @@ func (s *StealScheduler) take(worker, grain int) (int, int, bool) {
 }
 
 // steal moves the back half of victim's range to worker's range.
+//
+//ihtl:noalloc
 func (s *StealScheduler) steal(worker, victim int) bool {
 	v := &s.ranges[victim]
 	v.mu.Lock()
@@ -119,6 +127,8 @@ func (s *StealScheduler) steal(worker, victim int) bool {
 // pool's preallocated scheduler, so steady-state calls allocate
 // nothing; engines that interleave several steal loops in one fused
 // region must hold their own schedulers and use ForStealWith.
+//
+//ihtl:noalloc
 func (p *Pool) ForSteal(n, grain int, fn func(worker, lo, hi int)) {
 	p.ForStealWith(p.steal, n, grain, fn)
 }
@@ -127,6 +137,8 @@ func (p *Pool) ForSteal(n, grain int, fn func(worker, lo, hi int)) {
 // with NewStealScheduler(pool.Workers()) and reused across calls. The
 // scheduler is Reset here; the claim loop runs inside the pool workers
 // themselves, so the call allocates nothing.
+//
+//ihtl:noalloc
 func (p *Pool) ForStealWith(s *StealScheduler, n, grain int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return

@@ -22,7 +22,11 @@ type BatchStepper interface {
 // StepBatch implements BatchStepper over the engine's direction.
 // src and dst must have length NumV*k and must not alias. k == 1
 // delegates to the scalar Step, so a width-1 batch costs exactly one
-// scalar iteration.
+// scalar iteration. Apart from batchBufs growing the PushBuffered
+// accumulators on a width change (the deliberate unannotated callee),
+// a steady-width StepBatch allocates nothing.
+//
+//ihtl:noalloc
 func (e *Engine) StepBatch(src, dst []float64, k int) {
 	if k == 1 {
 		e.Step(src, dst)
@@ -34,28 +38,36 @@ func (e *Engine) StepBatch(src, dst []float64, k int) {
 	if len(src) != e.g.NumV*k || len(dst) != e.g.NumV*k {
 		panic("spmv: batch vector length mismatch")
 	}
+	e.curSrc, e.curDst, e.curK = src, dst, k
 	switch e.dir {
 	case Pull:
-		e.stepPullBatch(src, dst, k)
+		e.forParts(len(e.pullBounds)-1, e.pullBatchJob)
 	case PushAtomic:
-		e.stepPushAtomicBatch(src, dst, k)
+		e.zeroDst()
+		e.forParts(len(e.pushBounds)-1, e.atomicBatchJob)
 	case PushBuffered:
-		e.stepPushBufferedBatch(src, dst, k)
+		e.batchBufs(k)
+		e.pool.Run(e.clearBufsKJob)
+		e.forParts(len(e.pushBounds)-1, e.bufferedBatchJob)
+		e.pool.ForStatic(e.g.NumV, e.mergeBatchJob)
 	case PushPartitioned:
-		e.stepPushPartitionedBatch(src, dst, k)
+		e.zeroDst()
+		e.forParts(e.parts.NumParts(), e.partBatchJob)
 	}
+	e.curSrc, e.curDst, e.curK = nil, nil, 0
 }
 
-// stepPullBatch is the batched Algorithm 1: per destination, the K
+// pullBatchWorker is the batched Algorithm 1: per destination, the K
 // partial sums accumulate directly in dst's contiguous lane row, which
 // each partition owns exclusively.
-func (e *Engine) stepPullBatch(src, dst []float64, k int) {
-	g := e.g
-	nparts := len(e.pullBounds) - 1
-	e.forParts(nparts, func(w, part int) {
-		lo, hi := e.pullBounds[part], e.pullBounds[part+1]
-		nbrs := g.InNbrs
-		for v := lo; v < hi; v++ {
+//
+//ihtl:noalloc
+func (e *Engine) pullBatchWorker(w, lo, hi int) {
+	g, src, dst, k := e.g, e.curSrc, e.curDst, e.curK
+	nbrs := g.InNbrs
+	for part := lo; part < hi; part++ {
+		vlo, vhi := e.pullBounds[part], e.pullBounds[part+1]
+		for v := vlo; v < vhi; v++ {
 			db := v * k
 			out := dst[db : db+k : db+k]
 			for j := range out {
@@ -69,20 +81,20 @@ func (e *Engine) stepPullBatch(src, dst []float64, k int) {
 				}
 			}
 		}
-	})
+	}
 }
 
-// stepPushAtomicBatch is the batched Algorithm 2 with atomics: K CAS
+// atomicBatchWorker is the batched Algorithm 2 with atomics: K CAS
 // updates per edge. Batching does not amortise the synchronisation —
 // the lane loop multiplies it — which is exactly the ablation point.
-func (e *Engine) stepPushAtomicBatch(src, dst []float64, k int) {
-	e.zero(dst)
-	g := e.g
-	nparts := len(e.pushBounds) - 1
-	e.forParts(nparts, func(w, part int) {
-		lo, hi := e.pushBounds[part], e.pushBounds[part+1]
-		nbrs := g.OutNbrs
-		for v := lo; v < hi; v++ {
+//
+//ihtl:noalloc
+func (e *Engine) atomicBatchWorker(w, lo, hi int) {
+	g, src, dst, k := e.g, e.curSrc, e.curDst, e.curK
+	nbrs := g.OutNbrs
+	for part := lo; part < hi; part++ {
+		vlo, vhi := e.pushBounds[part], e.pushBounds[part+1]
+		for v := vlo; v < vhi; v++ {
 			sb := v * k
 			xs := src[sb : sb+k : sb+k]
 			if SkipZeroLanes(xs) {
@@ -95,24 +107,21 @@ func (e *Engine) stepPushAtomicBatch(src, dst []float64, k int) {
 				}
 			}
 		}
-	})
+	}
 }
 
-// stepPushBufferedBatch is the batched X-Stream push: per-worker
-// buffers grow to NumV*k lanes (allocated on first use of a width and
-// reused after), and the merge reduces K lanes per vertex.
-func (e *Engine) stepPushBufferedBatch(src, dst []float64, k int) {
-	g := e.g
-	bufs := e.batchBufs(k)
-	e.pool.Run(func(w int) {
-		clear(bufs[w])
-	})
-	nparts := len(e.pushBounds) - 1
-	e.forParts(nparts, func(w, part int) {
-		buf := bufs[w]
-		lo, hi := e.pushBounds[part], e.pushBounds[part+1]
-		nbrs := g.OutNbrs
-		for v := lo; v < hi; v++ {
+// bufferedBatchWorker is the batched X-Stream push: per-worker buffers
+// hold NumV*k lanes (grown by batchBufs on a width change and reused
+// after); mergeBatchWorker reduces K lanes per vertex.
+//
+//ihtl:noalloc
+func (e *Engine) bufferedBatchWorker(w, lo, hi int) {
+	g, src, k := e.g, e.curSrc, e.curK
+	buf := e.threadBufsK[w]
+	nbrs := g.OutNbrs
+	for part := lo; part < hi; part++ {
+		vlo, vhi := e.pushBounds[part], e.pushBounds[part+1]
+		for v := vlo; v < vhi; v++ {
 			sb := v * k
 			xs := src[sb : sb+k : sb+k]
 			if SkipZeroLanes(xs) {
@@ -126,25 +135,40 @@ func (e *Engine) stepPushBufferedBatch(src, dst []float64, k int) {
 				}
 			}
 		}
-	})
-	e.pool.ForStatic(g.NumV, func(w, lo, hi int) {
-		for i := lo * k; i < hi*k; i++ {
-			sum := 0.0
-			for t := range bufs {
-				sum += bufs[t][i]
-			}
-			dst[i] = sum
-		}
-	})
+	}
 }
 
-// stepPushPartitionedBatch is the batched GraphGrind push: partitions
-// own disjoint destination ranges, so the K-lane updates need no
+// clearBufsKWorker resets one worker's K-wide accumulation buffer.
+//
+//ihtl:noalloc
+func (e *Engine) clearBufsKWorker(w int) {
+	clear(e.threadBufsK[w])
+}
+
+// mergeBatchWorker reduces every worker's K-wide buffer into dst over
+// a static vertex range.
+//
+//ihtl:noalloc
+func (e *Engine) mergeBatchWorker(w, lo, hi int) {
+	bufs, dst, k := e.threadBufsK, e.curDst, e.curK
+	for i := lo * k; i < hi*k; i++ {
+		sum := 0.0
+		for t := range bufs {
+			sum += bufs[t][i]
+		}
+		dst[i] = sum
+	}
+}
+
+// partBatchWorker is the batched GraphGrind push: partitions own
+// disjoint destination ranges, so the K-lane updates need no
 // synchronisation.
-func (e *Engine) stepPushPartitionedBatch(src, dst []float64, k int) {
-	e.zero(dst)
+//
+//ihtl:noalloc
+func (e *Engine) partBatchWorker(w, lo, hi int) {
+	src, dst, k := e.curSrc, e.curDst, e.curK
 	pp := e.parts
-	e.forParts(pp.NumParts(), func(w, p int) {
+	for p := lo; p < hi; p++ {
 		part := &pp.Parts[p]
 		for i, u := range part.Srcs {
 			sb := int(u) * k
@@ -160,11 +184,14 @@ func (e *Engine) stepPushPartitionedBatch(src, dst []float64, k int) {
 				}
 			}
 		}
-	})
+	}
 }
 
-// batchBufs returns the per-worker K-wide accumulation buffers of the
-// PushBuffered batch path, (re)allocating when the width changes.
+// batchBufs ensures the per-worker K-wide accumulation buffers of the
+// PushBuffered batch path exist, (re)allocating when the width
+// changes. It is deliberately NOT annotated //ihtl:noalloc: growing on
+// a width change is the one allocation StepBatch is allowed, through
+// the unannotated-callee escape hatch.
 func (e *Engine) batchBufs(k int) [][]float64 {
 	if e.batchK == k {
 		return e.threadBufsK

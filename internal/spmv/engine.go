@@ -89,6 +89,22 @@ type Engine struct {
 	// the most loaded peer, instead of serialising every claim through
 	// one shared fetch-add counter.
 	partSched *sched.StealScheduler
+
+	// curSrc/curDst/curK stage one dispatch's operands for the prebuilt
+	// jobs below. Binding the worker bodies once at construction (method
+	// values allocate) and passing vectors through fields keeps Step and
+	// StepBatch allocation-free per call — the same discipline as the
+	// fused core.Engine, enforced by the noalloc pass.
+	curSrc, curDst []float64
+	curK           int
+
+	zeroJob       func(w, lo, hi int)
+	clearBufsJob  func(w int)
+	clearBufsKJob func(w int)
+
+	pullJob, atomicJob, bufferedJob, mergeJob, partJob func(w, lo, hi int)
+
+	pullBatchJob, atomicBatchJob, bufferedBatchJob, mergeBatchJob, partBatchJob func(w, lo, hi int)
 }
 
 // Options configures NewEngine.
@@ -127,17 +143,30 @@ func NewEngine(g *graph.Graph, pool *sched.Pool, dir Direction, opt Options) (*E
 		return nil, fmt.Errorf("spmv: unknown direction %d", dir)
 	}
 	e.partSched = sched.NewStealScheduler(pool.Workers())
+	// Bind every dispatch body once; method-value creation allocates,
+	// so it must not happen inside Step/StepBatch.
+	e.zeroJob = e.zeroWorker
+	e.clearBufsJob = e.clearBufsWorker
+	e.clearBufsKJob = e.clearBufsKWorker
+	e.pullJob = e.pullWorker
+	e.atomicJob = e.atomicWorker
+	e.bufferedJob = e.bufferedWorker
+	e.mergeJob = e.mergeWorker
+	e.partJob = e.partWorker
+	e.pullBatchJob = e.pullBatchWorker
+	e.atomicBatchJob = e.atomicBatchWorker
+	e.bufferedBatchJob = e.bufferedBatchWorker
+	e.mergeBatchJob = e.mergeBatchWorker
+	e.partBatchJob = e.partBatchWorker
 	return e, nil
 }
 
-// forParts runs fn over every partition index in [0, nparts) using the
-// engine's persistent steal scheduler.
-func (e *Engine) forParts(nparts int, fn func(worker, part int)) {
-	e.pool.ForStealWith(e.partSched, nparts, 1, func(w, lo, hi int) {
-		for p := lo; p < hi; p++ {
-			fn(w, p)
-		}
-	})
+// forParts dispatches a prebuilt partition-ranged job over [0, nparts)
+// using the engine's persistent steal scheduler.
+//
+//ihtl:noalloc
+func (e *Engine) forParts(nparts int, job func(w, lo, hi int)) {
+	e.pool.ForStealWith(e.partSched, nparts, 1, job)
 }
 
 // NumVertices implements Stepper.
@@ -148,43 +177,58 @@ func (e *Engine) Direction() Direction { return e.dir }
 
 // Step implements Stepper. src and dst must have length NumV and must
 // not alias.
+//
+//ihtl:noalloc
 func (e *Engine) Step(src, dst []float64) {
 	if len(src) != e.g.NumV || len(dst) != e.g.NumV {
 		panic("spmv: vector length mismatch")
 	}
+	e.curSrc, e.curDst = src, dst
 	switch e.dir {
 	case Pull:
-		e.stepPull(src, dst)
+		e.forParts(len(e.pullBounds)-1, e.pullJob)
 	case PushAtomic:
-		e.stepPushAtomic(src, dst)
+		e.zeroDst()
+		e.forParts(len(e.pushBounds)-1, e.atomicJob)
 	case PushBuffered:
-		e.stepPushBuffered(src, dst)
+		e.pool.Run(e.clearBufsJob)
+		e.forParts(len(e.pushBounds)-1, e.bufferedJob)
+		e.pool.ForStatic(e.g.NumV, e.mergeJob)
 	case PushPartitioned:
-		e.stepPushPartitioned(src, dst)
+		e.zeroDst()
+		e.forParts(e.parts.NumParts(), e.partJob)
 	}
+	e.curSrc, e.curDst = nil, nil
 }
 
-// stepPull is Algorithm 1: destinations are processed in parallel over
-// edge-balanced partitions; writes need no synchronisation because
-// each destination is owned by exactly one partition.
-func (e *Engine) stepPull(src, dst []float64) {
-	g := e.g
-	nparts := len(e.pullBounds) - 1
-	e.forParts(nparts, func(w, part int) {
-		lo, hi := e.pullBounds[part], e.pullBounds[part+1]
-		nbrs := g.InNbrs
-		for v := lo; v < hi; v++ {
+// pullWorker is Algorithm 1: destinations are processed in parallel
+// over edge-balanced partitions; writes need no synchronisation
+// because each destination is owned by exactly one partition.
+//
+//ihtl:noalloc
+func (e *Engine) pullWorker(w, lo, hi int) {
+	g, src, dst := e.g, e.curSrc, e.curDst
+	nbrs := g.InNbrs
+	for part := lo; part < hi; part++ {
+		vlo, vhi := e.pullBounds[part], e.pullBounds[part+1]
+		for v := vlo; v < vhi; v++ {
 			sum := 0.0
 			for i := g.InIndex[v]; i < g.InIndex[v+1]; i++ {
 				sum += src[nbrs[i]]
 			}
 			dst[v] = sum
 		}
-	})
+	}
 }
 
-func (e *Engine) zero(dst []float64) {
-	e.pool.ForStatic(len(dst), func(w, lo, hi int) {
-		clear(dst[lo:hi])
-	})
+// zeroDst clears the staged destination vector in parallel.
+//
+//ihtl:noalloc
+func (e *Engine) zeroDst() {
+	e.pool.ForStatic(len(e.curDst), e.zeroJob)
+}
+
+//ihtl:noalloc
+func (e *Engine) zeroWorker(w, lo, hi int) {
+	clear(e.curDst[lo:hi])
 }

@@ -126,12 +126,14 @@ func quickSortVIDs(v []graph.VID) {
 	quickSortVIDs(v[left:])
 }
 
-// stepPushPartitioned pushes within destination partitions: threads
-// claim whole partitions, so no write synchronisation is needed.
-func (e *Engine) stepPushPartitioned(src, dst []float64) {
-	e.zero(dst)
+// partWorker pushes within destination partitions: threads claim whole
+// partitions, so no write synchronisation is needed.
+//
+//ihtl:noalloc
+func (e *Engine) partWorker(w, lo, hi int) {
+	src, dst := e.curSrc, e.curDst
 	pp := e.parts
-	e.forParts(pp.NumParts(), func(w, p int) {
+	for p := lo; p < hi; p++ {
 		part := &pp.Parts[p]
 		for i, u := range part.Srcs {
 			x := src[u]
@@ -142,5 +144,5 @@ func (e *Engine) stepPushPartitioned(src, dst []float64) {
 				dst[part.Dsts[j]] += x
 			}
 		}
-	})
+	}
 }

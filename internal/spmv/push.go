@@ -16,11 +16,15 @@ import (
 // any other value. All push engines — fused, phased, atomic, buffered,
 // partitioned, and their batched forms — share this predicate so their
 // zero semantics cannot drift apart.
+//
+//ihtl:noalloc
 func SkipZero(x float64) bool { return math.Float64bits(x) == 0 }
 
 // SkipZeroLanes is SkipZero over a batch row: a batched push kernel
 // may skip a source's edges only when every lane carries the
 // skippable +0.0.
+//
+//ihtl:noalloc
 func SkipZeroLanes(xs []float64) bool {
 	for _, x := range xs {
 		if math.Float64bits(x) != 0 {
@@ -33,6 +37,8 @@ func SkipZeroLanes(xs []float64) bool {
 // AtomicAddFloat64 adds delta to *addr with a CAS loop — the price
 // push traversal pays to protect concurrent updates to shared
 // destinations (§1: "atomic instructions").
+//
+//ihtl:noalloc
 func AtomicAddFloat64(addr *float64, delta float64) {
 	bits := (*uint64)(unsafe.Pointer(addr))
 	for {
@@ -44,16 +50,16 @@ func AtomicAddFloat64(addr *float64, delta float64) {
 	}
 }
 
-// stepPushAtomic is Algorithm 2 with atomic writes: sources are
+// atomicWorker is Algorithm 2 with atomic writes: sources are
 // processed in parallel; every destination update is a CAS.
-func (e *Engine) stepPushAtomic(src, dst []float64) {
-	e.zero(dst)
-	g := e.g
-	nparts := len(e.pushBounds) - 1
-	e.forParts(nparts, func(w, part int) {
-		lo, hi := e.pushBounds[part], e.pushBounds[part+1]
-		nbrs := g.OutNbrs
-		for v := lo; v < hi; v++ {
+//
+//ihtl:noalloc
+func (e *Engine) atomicWorker(w, lo, hi int) {
+	g, src, dst := e.g, e.curSrc, e.curDst
+	nbrs := g.OutNbrs
+	for part := lo; part < hi; part++ {
+		vlo, vhi := e.pushBounds[part], e.pushBounds[part+1]
+		for v := vlo; v < vhi; v++ {
 			x := src[v]
 			if SkipZero(x) {
 				continue
@@ -62,29 +68,24 @@ func (e *Engine) stepPushAtomic(src, dst []float64) {
 				AtomicAddFloat64(&dst[nbrs[i]], x)
 			}
 		}
-	})
+	}
 }
 
-// stepPushBuffered is Algorithm 2 with X-Stream-style buffering
+// bufferedWorker is Algorithm 2 with X-Stream-style buffering
 // (reference [29] of the paper): each worker accumulates into a
-// private full-length buffer, then buffers are merged into dst with a
-// vertex-parallel reduction. No atomics, but the buffers are as large
-// as the vertex data itself — the overhead iHTL's flipped blocks
-// shrink to a few hub pages.
-func (e *Engine) stepPushBuffered(src, dst []float64) {
-	g := e.g
-	// Buffers are dirtied selectively and cleared fully; for the
-	// graphs used here clearing is a small sequential sweep per
-	// worker.
-	e.pool.Run(func(w int) {
-		clear(e.threadBufs[w])
-	})
-	nparts := len(e.pushBounds) - 1
-	e.forParts(nparts, func(w, part int) {
-		buf := e.threadBufs[w]
-		lo, hi := e.pushBounds[part], e.pushBounds[part+1]
-		nbrs := g.OutNbrs
-		for v := lo; v < hi; v++ {
+// private full-length buffer; a separate vertex-parallel merge
+// (mergeWorker) reduces the buffers into dst. No atomics, but the
+// buffers are as large as the vertex data itself — the overhead iHTL's
+// flipped blocks shrink to a few hub pages.
+//
+//ihtl:noalloc
+func (e *Engine) bufferedWorker(w, lo, hi int) {
+	g, src := e.g, e.curSrc
+	buf := e.threadBufs[w]
+	nbrs := g.OutNbrs
+	for part := lo; part < hi; part++ {
+		vlo, vhi := e.pushBounds[part], e.pushBounds[part+1]
+		for v := vlo; v < vhi; v++ {
 			x := src[v]
 			if SkipZero(x) {
 				continue
@@ -93,15 +94,29 @@ func (e *Engine) stepPushBuffered(src, dst []float64) {
 				buf[nbrs[i]] += x
 			}
 		}
-	})
-	bufs := e.threadBufs
-	e.pool.ForStatic(g.NumV, func(w, lo, hi int) {
-		for v := lo; v < hi; v++ {
-			sum := 0.0
-			for t := range bufs {
-				sum += bufs[t][v]
-			}
-			dst[v] = sum
+	}
+}
+
+// clearBufsWorker resets one worker's scalar accumulation buffer.
+// Buffers are dirtied selectively and cleared fully; for the graphs
+// used here clearing is a small sequential sweep per worker.
+//
+//ihtl:noalloc
+func (e *Engine) clearBufsWorker(w int) {
+	clear(e.threadBufs[w])
+}
+
+// mergeWorker reduces every worker's buffer into dst over a static
+// vertex range.
+//
+//ihtl:noalloc
+func (e *Engine) mergeWorker(w, lo, hi int) {
+	bufs, dst := e.threadBufs, e.curDst
+	for v := lo; v < hi; v++ {
+		sum := 0.0
+		for t := range bufs {
+			sum += bufs[t][v]
 		}
-	})
+		dst[v] = sum
+	}
 }
