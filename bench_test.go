@@ -487,6 +487,47 @@ func BenchmarkIHTLBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkBuild measures the end-to-end preprocessing pipeline on
+// the scale-18 R-MAT acceptance graph, sequential vs an 8-worker
+// pool: graph/* is the edge-list → dual CSR/CSC build (counting
+// sorts, adjacency sort, dedup, zero-degree compaction), core/* is
+// the iHTL construction (rank, select, relabel, blocks). The parallel
+// variants are bit-for-bit identical to the sequential ones — see
+// TestBuildParallelDeterminism and TestBuildWithParallelDeterminism —
+// so seq vs par here is a pure wall-clock comparison.
+func BenchmarkBuild(b *testing.B) {
+	pool := sched.NewPool(8)
+	defer pool.Close()
+	g, err := gen.RMAT(gen.DefaultRMAT(18, 16, 118))
+	if err != nil {
+		b.Fatal(err)
+	}
+	edges := g.Edges(nil)
+	for _, m := range []struct {
+		name string
+		pool *sched.Pool
+	}{{"seq", nil}, {"par", pool}} {
+		b.Run("graph/"+m.name, func(b *testing.B) {
+			opt := graph.DefaultBuildOptions()
+			opt.Pool = m.pool
+			b.SetBytes(g.NumE * 8)
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.Build(g.NumV, edges, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("core/"+m.name, func(b *testing.B) {
+			b.SetBytes(g.NumE * 8)
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildWith(g, core.Params{HubsPerBlock: 2048}, m.pool); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkHarnessSmall runs the full experiment dispatcher on the
 // small registry — an end-to-end smoke benchmark of the harness
 // itself.

@@ -20,15 +20,16 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig1|fig2|fig7|table2|table3|table4|fig8|table5|table6|fig9|all)")
-		datasets = flag.String("datasets", "", "comma-separated dataset names (default: all in registry)")
-		small    = flag.Bool("small", false, "use the reduced-size registry")
-		workers  = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
-		iters    = flag.Int("iters", 8, "timed iterations per measurement")
-		list     = flag.Bool("list", false, "list experiments and datasets, then exit")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		stepjson = flag.String("stepjson", "", "measure per-kernel step times and write them as JSON to this path (e.g. results/BENCH_step.json), then exit")
-		batch    = flag.Bool("batch", false, "with -stepjson: also sweep the batched (multi-vector) kernels at K = 1,4,8,16 over the batch registry (rmat18 + sk-s)")
+		exp       = flag.String("exp", "all", "experiment id (fig1|fig2|fig7|table2|table3|table4|fig8|table5|table6|fig9|all)")
+		datasets  = flag.String("datasets", "", "comma-separated dataset names (default: all in registry)")
+		small     = flag.Bool("small", false, "use the reduced-size registry")
+		workers   = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		iters     = flag.Int("iters", 8, "timed iterations per measurement")
+		list      = flag.Bool("list", false, "list experiments and datasets, then exit")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		stepjson  = flag.String("stepjson", "", "measure per-kernel step times and write them as JSON to this path (e.g. results/BENCH_step.json), then exit")
+		batch     = flag.Bool("batch", false, "with -stepjson: also sweep the batched (multi-vector) kernels at K = 1,4,8,16 over the batch registry (rmat18 + sk-s)")
+		buildjson = flag.String("buildjson", "", "measure sequential and parallel preprocessing times (graph build, rank, select, relabel, blocks) and write them as JSON to this path (e.g. results/BENCH_build.json), then exit")
 	)
 	flag.Parse()
 
@@ -62,6 +63,18 @@ func main() {
 	env.Iters = *iters
 	env.Out = os.Stdout
 	env.CSV = *csv
+
+	if *buildjson != "" {
+		rep, err := bench.RunBuildJSON(env, selected)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteBuildJSON(*buildjson, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d measurements to %s\n", len(rep.Results), *buildjson)
+		return
+	}
 
 	if *stepjson != "" {
 		rep, err := bench.RunStepJSON(env, selected)

@@ -13,20 +13,21 @@ import (
 )
 
 func main() {
+	pool := ihtl.NewPool(0) // one worker per core
+	defer pool.Close()
+
 	// A social-network-like graph: 2^16 vertices, ~1M edges, skewed
-	// in-degrees.
-	g, err := ihtl.GenerateRMAT(16, 16, 42)
+	// in-degrees. The pool parallelises the CSR/CSC build.
+	g, err := ihtl.GenerateRMATOn(pool, 16, 16, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("graph: %d vertices, %d edges\n", g.NumV, g.NumE)
 
-	pool := ihtl.NewPool(0) // one worker per core
-	defer pool.Close()
-
 	// Build the iHTL engine. HubsPerBlock 0 would use the paper's
 	// 1 MiB L2 default; for a graph this size a few thousand hubs per
-	// block keeps the buffers cache-resident.
+	// block keeps the buffers cache-resident. Preprocessing (hub
+	// ranking, relabeling, block construction) runs on the same pool.
 	eng, err := ihtl.NewEngine(g, pool, ihtl.Params{HubsPerBlock: 4096})
 	if err != nil {
 		log.Fatal(err)
@@ -36,6 +37,9 @@ func main() {
 		len(ih.Blocks), ih.NumHubs,
 		100*float64(ih.NumHubs)/float64(ih.NumV),
 		100*float64(ih.FlippedEdges())/float64(ih.NumE))
+	bs := ih.BuildStats()
+	fmt.Printf("build: rank %v, select %v, relabel %v, blocks %v (wall %v)\n",
+		bs.Rank, bs.Select, bs.Relabel, bs.Blocks, bs.Wall)
 
 	ranks, err := ihtl.PageRank(eng, pool, ihtl.PageRankOptions{MaxIters: 30})
 	if err != nil {

@@ -13,9 +13,9 @@
 //
 // Quick start:
 //
-//	g, _ := ihtl.GenerateRMAT(18, 16, 42)     // or ihtl.LoadGraph(path)
-//	pool := ihtl.NewPool(0)                   // one worker per core
+//	pool := ihtl.NewPool(0)                        // one worker per core
 //	defer pool.Close()
+//	g, _ := ihtl.GenerateRMATOn(pool, 18, 16, 42)  // or ihtl.LoadGraph(path)
 //	eng, _ := ihtl.NewEngine(g, pool, ihtl.Params{})
 //	ranks, _ := ihtl.PageRank(eng, pool, ihtl.PageRankOptions{})
 //
@@ -57,6 +57,11 @@ type Params = core.Params
 // the sparse block.
 type IHTL = core.IHTL
 
+// BuildBreakdown reports where preprocessing time went (rank, select,
+// relabel, blocks; wall and per-worker busy), mirroring the engine's
+// Step Breakdown. Obtain it via (*Engine).IHTL().BuildStats().
+type BuildBreakdown = core.BuildBreakdown
+
 // Stepper is the common interface of all SpMV engines: one Step
 // computes dst[v] = Σ src[u] over in-neighbours u.
 type Stepper = spmv.Stepper
@@ -70,9 +75,20 @@ func NewPool(workers int) *Pool { return sched.NewPool(workers) }
 
 // BuildGraph constructs a graph from an edge list over [0, numV),
 // deduplicating edges and removing zero-degree vertices as the paper
-// does for its datasets.
+// does for its datasets. It builds sequentially; use BuildGraphOn to
+// build across a pool's workers.
 func BuildGraph(numV int, edges []Edge) (*Graph, error) {
-	return graph.Build(numV, edges, graph.DefaultBuildOptions())
+	return BuildGraphOn(nil, numV, edges)
+}
+
+// BuildGraphOn is BuildGraph parallelised on pool: the CSR/CSC
+// counting sorts, adjacency sorting, dedup and zero-degree compaction
+// all run across the pool's workers and produce a graph bit-for-bit
+// identical to the sequential build. A nil pool builds sequentially.
+func BuildGraphOn(pool *Pool, numV int, edges []Edge) (*Graph, error) {
+	opt := graph.DefaultBuildOptions()
+	opt.Pool = pool
+	return graph.Build(numV, edges, opt)
 }
 
 // LoadGraph reads a graph from the binary format written by
@@ -83,13 +99,31 @@ func LoadGraph(path string) (*Graph, error) { return graph.LoadFile(path) }
 // 2^scale vertices and ~2^scale*edgeFactor edges (Graph500
 // parameters).
 func GenerateRMAT(scale, edgeFactor int, seed uint64) (*Graph, error) {
-	return gen.RMAT(gen.DefaultRMAT(scale, edgeFactor, seed))
+	return GenerateRMATOn(nil, scale, edgeFactor, seed)
+}
+
+// GenerateRMATOn is GenerateRMAT with the graph build parallelised on
+// pool. The edge stream is deterministic and the parallel build is
+// bit-for-bit identical to the sequential one, so the resulting graph
+// does not depend on the pool or its worker count.
+func GenerateRMATOn(pool *Pool, scale, edgeFactor int, seed uint64) (*Graph, error) {
+	cfg := gen.DefaultRMAT(scale, edgeFactor, seed)
+	cfg.Pool = pool
+	return gen.RMAT(cfg)
 }
 
 // GenerateWeb generates a web-like graph with n pages: extreme
 // asymmetric in-hubs and host-block community structure.
 func GenerateWeb(n int, seed uint64) (*Graph, error) {
-	return gen.Web(gen.DefaultWeb(n, seed))
+	return GenerateWebOn(nil, n, seed)
+}
+
+// GenerateWebOn is GenerateWeb with the graph build parallelised on
+// pool; like GenerateRMATOn the result is independent of the pool.
+func GenerateWebOn(pool *Pool, n int, seed uint64) (*Graph, error) {
+	cfg := gen.DefaultWeb(n, seed)
+	cfg.Pool = pool
+	return gen.Web(cfg)
 }
 
 // Engine is an iHTL SpMV engine over a fixed graph. It implements
@@ -102,9 +136,12 @@ type Engine struct {
 }
 
 // NewEngine builds the iHTL graph of g with the given parameters and
-// prepares an Algorithm 3 engine on the pool.
+// prepares an Algorithm 3 engine on the pool. Preprocessing (hub
+// ranking, relabeling, block construction) runs across the same pool
+// the engine later steps on; the per-phase times are available via
+// IHTL().BuildStats().
 func NewEngine(g *Graph, pool *Pool, p Params) (*Engine, error) {
-	ih, err := core.Build(g, p)
+	ih, err := core.BuildWith(g, p, pool)
 	if err != nil {
 		return nil, err
 	}

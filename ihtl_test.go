@@ -84,3 +84,85 @@ func TestPublicAPIWebGenerator(t *testing.T) {
 		t.Fatalf("web graph should have asymmetric hubs: in=%d out=%d", maxIn, maxOut)
 	}
 }
+
+// TestPublicAPIParallelBuildParity checks that the *On variants
+// (pool-parallelised generation and graph build) produce graphs
+// identical to their sequential counterparts, and that an engine
+// built on the pool matches a sequentially built one.
+func TestPublicAPIParallelBuildParity(t *testing.T) {
+	pool := ihtl.NewPool(4)
+	defer pool.Close()
+
+	seq, err := ihtl.GenerateRMAT(10, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ihtl.GenerateRMATOn(pool, 10, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGraph(t, "rmat", seq, par)
+
+	wseq, err := ihtl.GenerateWeb(3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wpar, err := ihtl.GenerateWebOn(pool, 3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGraph(t, "web", wseq, wpar)
+
+	edges := seq.Edges(nil)
+	gseq, err := ihtl.BuildGraph(seq.NumV, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpar, err := ihtl.BuildGraphOn(pool, seq.NumV, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGraph(t, "rebuild", gseq, gpar)
+
+	one := ihtl.NewPool(1) // one worker: NewEngine takes the sequential build path
+	defer one.Close()
+	eseq, err := ihtl.NewEngine(seq, one, ihtl.Params{HubsPerBlock: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epar, err := ihtl.NewEngine(par, pool, ihtl.Params{HubsPerBlock: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	is, ip := eseq.IHTL(), epar.IHTL()
+	if is.NumHubs != ip.NumHubs || is.NumVWEH != ip.NumVWEH || is.NumFV != ip.NumFV {
+		t.Fatalf("engine classes differ: seq %d/%d/%d par %d/%d/%d",
+			is.NumHubs, is.NumVWEH, is.NumFV, ip.NumHubs, ip.NumVWEH, ip.NumFV)
+	}
+	for v := range is.NewID {
+		if is.NewID[v] != ip.NewID[v] {
+			t.Fatalf("NewID[%d] = %d (par), want %d (seq)", v, ip.NewID[v], is.NewID[v])
+		}
+	}
+	if bs := ip.BuildStats(); bs.Wall <= 0 {
+		t.Fatalf("BuildStats.Wall = %v, want > 0", bs.Wall)
+	}
+}
+
+func requireSameGraph(t *testing.T, label string, want, got *ihtl.Graph) {
+	t.Helper()
+	if got.NumV != want.NumV || got.NumE != want.NumE {
+		t.Fatalf("%s: NumV/NumE = %d/%d, want %d/%d", label, got.NumV, got.NumE, want.NumV, want.NumE)
+	}
+	for v := 0; v < want.NumV; v++ {
+		wo, go_ := want.Out(ihtl.VID(v)), got.Out(ihtl.VID(v))
+		if len(wo) != len(go_) {
+			t.Fatalf("%s: Out(%d) length %d, want %d", label, v, len(go_), len(wo))
+		}
+		for i := range wo {
+			if wo[i] != go_[i] {
+				t.Fatalf("%s: Out(%d)[%d] = %d, want %d", label, v, i, go_[i], wo[i])
+			}
+		}
+	}
+}

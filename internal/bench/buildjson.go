@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"ihtl/internal/core"
+	"ihtl/internal/graph"
+)
+
+// BuildResult is one (dataset, mode) preprocessing measurement: the
+// end-to-end edge-list-to-engine path, split into the graph build
+// (CSR/CSC construction) and the core.Build phases (rank, select,
+// relabel, blocks). Mode is "seq" (nil pool) or "par" (the env pool).
+type BuildResult struct {
+	Dataset  string `json:"dataset"`
+	Mode     string `json:"mode"`
+	Vertices int    `json:"vertices"`
+	Edges    int64  `json:"edges"`
+
+	// GraphBuildNs is the edge-list → dual CSR/CSC graph.Build time.
+	GraphBuildNs int64 `json:"graph_build_ns"`
+	// RankNs..BlocksNs split CoreBuildNs per the BuildBreakdown of the
+	// last iteration.
+	RankNs    int64 `json:"rank_ns"`
+	SelectNs  int64 `json:"select_ns"`
+	RelabelNs int64 `json:"relabel_ns"`
+	BlocksNs  int64 `json:"blocks_ns"`
+	// CoreBuildNs is the full core.Build wall time (graph → iHTL).
+	CoreBuildNs int64 `json:"core_build_ns"`
+	// TotalNs is GraphBuildNs + CoreBuildNs.
+	TotalNs int64 `json:"total_ns"`
+}
+
+// BuildReport is the machine-readable preprocessing-time report;
+// WriteBuildJSON serialises it (conventionally to
+// results/BENCH_build.json) for tracking across commits.
+type BuildReport struct {
+	Workers    int           `json:"workers"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Iters      int           `json:"iters"`
+	Results    []BuildResult `json:"results"`
+}
+
+// RunBuildJSON measures sequential and parallel preprocessing time on
+// each dataset: the edge list is extracted once, then graph.Build and
+// core.Build are timed with a nil pool ("seq") and with the env pool
+// ("par"). The parallel outputs are checked edge-count-identical to
+// the sequential ones (the bit-for-bit check lives in the determinism
+// test suites).
+func RunBuildJSON(env *Env, datasets []*Dataset) (*BuildReport, error) {
+	rep := &BuildReport{
+		Workers:    env.Pool.Workers(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Iters:      env.Iters,
+	}
+	for _, d := range datasets {
+		g, err := d.Load()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", d.Name, err)
+		}
+		edges := g.Edges(nil)
+		for _, mode := range []string{"seq", "par"} {
+			res, err := measureBuild(env, d.Name, g, edges, mode)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", d.Name, mode, err)
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	return rep, nil
+}
+
+func measureBuild(env *Env, name string, g *graph.Graph, edges []graph.Edge, mode string) (BuildResult, error) {
+	pool := env.Pool
+	if mode == "seq" {
+		pool = nil
+	}
+	opt := graph.DefaultBuildOptions()
+	opt.Pool = pool
+
+	var rebuilt *graph.Graph
+	var err error
+	graphNs := timeIt(env.Iters, func() {
+		rebuilt, err = graph.Build(g.NumV, edges, opt)
+	}).Nanoseconds()
+	if err != nil {
+		return BuildResult{}, err
+	}
+	if rebuilt.NumE != g.NumE {
+		return BuildResult{}, fmt.Errorf("rebuilt graph has %d edges, want %d", rebuilt.NumE, g.NumE)
+	}
+
+	var ih *core.IHTL
+	coreNs := timeIt(env.Iters, func() {
+		ih, err = core.BuildWith(g, env.ihtlParams(), pool)
+	}).Nanoseconds()
+	if err != nil {
+		return BuildResult{}, err
+	}
+	if got := ih.FlippedEdges() + ih.Sparse.NumEdges(); got != g.NumE {
+		return BuildResult{}, fmt.Errorf("iHTL covers %d edges, want %d", got, g.NumE)
+	}
+	bs := ih.BuildStats()
+	return BuildResult{
+		Dataset:      name,
+		Mode:         mode,
+		Vertices:     g.NumV,
+		Edges:        g.NumE,
+		GraphBuildNs: graphNs,
+		RankNs:       bs.Rank.Nanoseconds(),
+		SelectNs:     bs.Select.Nanoseconds(),
+		RelabelNs:    bs.Relabel.Nanoseconds(),
+		BlocksNs:     bs.Blocks.Nanoseconds(),
+		CoreBuildNs:  coreNs,
+		TotalNs:      graphNs + coreNs,
+	}, nil
+}
+
+// WriteBuildJSON writes the report as indented JSON, creating the
+// target directory if needed.
+func WriteBuildJSON(path string, rep *BuildReport) error {
+	return writeJSON(path, rep)
+}

@@ -178,7 +178,13 @@ func stepEngine(env *Env, g *graph.Graph, kernel string) (spmv.Stepper, error) {
 // WriteStepJSON writes the report as indented JSON, creating the
 // target directory if needed.
 func WriteStepJSON(path string, rep *StepReport) error {
-	data, err := json.MarshalIndent(rep, "", "  ")
+	return writeJSON(path, rep)
+}
+
+// writeJSON writes v as indented JSON, creating the target directory
+// if needed.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
+	"time"
 
 	"ihtl/internal/graph"
+	"ihtl/internal/sched"
 )
 
 // FlippedBlock holds the incoming edges of one block of B in-hubs in
@@ -64,7 +67,8 @@ type IHTL struct {
 	// hubs (Table 5).
 	MinHubDegree int
 
-	params Params
+	params     Params
+	buildStats BuildBreakdown
 }
 
 // NumPushSources returns the number of vertices traversed during push
@@ -80,8 +84,27 @@ func (ih *IHTL) FlippedEdges() int64 {
 	return e
 }
 
-// Build constructs the iHTL graph of g per §3.2-3.3.
+// Vertex classes of §3.2. New IDs are assigned hub, VWEH, FV — in
+// that order (Figure 4).
+const (
+	classFV = iota
+	classVWEH
+	classHub
+)
+
+// Build constructs the iHTL graph of g per §3.2-3.3, sequentially.
 func Build(g *graph.Graph, p Params) (*IHTL, error) {
+	return BuildWith(g, p, nil)
+}
+
+// BuildWith is Build parallelised on pool: hub ranking, vertex
+// classification, relabeling and block construction all run across
+// the pool's workers, producing output bit-for-bit identical to the
+// sequential Build. A nil pool (or a one-worker pool) selects the
+// sequential path. The phase breakdown of either path is available
+// through (*IHTL).BuildStats afterwards.
+func BuildWith(g *graph.Graph, p Params, pool *sched.Pool) (*IHTL, error) {
+	start := time.Now()
 	if g == nil {
 		return nil, fmt.Errorf("core: nil graph")
 	}
@@ -89,53 +112,120 @@ func Build(g *graph.Graph, p Params) (*IHTL, error) {
 		return nil, err
 	}
 	rp := p.withDefaults()
+	if pool != nil && pool.Workers() <= 1 {
+		pool = nil
+	}
 	ih := &IHTL{NumV: g.NumV, NumE: g.NumE, HubsPerBlock: rp.HubsPerBlock, params: rp}
 	if g.NumV == 0 {
 		ih.NewID = []graph.VID{}
 		ih.OldID = []graph.VID{}
 		ih.Sparse.Index = []int64{0}
+		ih.buildStats.Wall = time.Since(start)
 		return ih, nil
 	}
+	var clk []buildClock
+	if pool != nil {
+		clk = make([]buildClock, pool.Workers())
+	}
 
-	ranked := rankByInDegree(g)
+	t := time.Now()
+	var ranked []graph.VID
+	if pool == nil {
+		ranked = rankByInDegree(g)
+	} else {
+		ranked = rankByInDegreePar(g, pool, clk)
+	}
+	ih.buildStats.Rank = time.Since(t)
+
+	t = time.Now()
 	var numHubs, blocks, minHubDeg int
 	if rp.FastSelect {
 		numHubs, blocks, minHubDeg = selectHubsFast(g, ranked, rp)
 	} else {
 		numHubs, blocks, minHubDeg = selectHubs(g, ranked, rp)
 	}
+	ih.buildStats.Select = time.Since(t)
 	ih.MinHubDegree = minHubDeg
-
-	// Classify: hubs, VWEH (sources of in-edges to hubs), FV.
-	const (
-		classFV = iota
-		classVWEH
-		classHub
-	)
-	class := make([]uint8, g.NumV)
-	for i := 0; i < numHubs; i++ {
-		class[ranked[i]] = classHub
-	}
-	for i := 0; i < numHubs; i++ {
-		for _, s := range g.In(ranked[i]) {
-			if class[s] == classFV {
-				class[s] = classVWEH
-			}
-		}
-	}
-
-	// Relabeling array (Figure 4): hubs in rank order, then VWEH,
-	// then FV — each class in original order (§3.2), or by
-	// descending degree under the DegreeSortClasses ablation.
 	ih.NumHubs = numHubs
+
+	t = time.Now()
+	relabel(g, ih, ranked, rp, pool, clk)
+	ih.buildStats.Relabel = time.Since(t)
+
+	t = time.Now()
+	buildFlippedBlocks(g, ih, blocks, pool, clk)
+	buildSparseBlock(g, ih, pool, clk)
+	ih.buildStats.Blocks = time.Since(t)
+
+	if got := ih.FlippedEdges() + ih.Sparse.NumEdges(); got != g.NumE {
+		return nil, fmt.Errorf("core: internal error: blocks cover %d edges, want %d", got, g.NumE)
+	}
+	for i := range clk {
+		ih.buildStats.RankBusy += clk[i].rank
+		ih.buildStats.RelabelBusy += clk[i].relabel
+		ih.buildStats.BlocksBusy += clk[i].blocks
+	}
+	ih.buildStats.Wall = time.Since(start)
+	return ih, nil
+}
+
+// relabel classifies every vertex (hub / VWEH / FV) and fills the
+// NewID/OldID arrays (Figure 4): hubs in rank order, then VWEH, then
+// FV — each class in original order (§3.2), or reordered under the
+// DegreeSortClasses / SparseOrder ablations.
+func relabel(g *graph.Graph, ih *IHTL, ranked []graph.VID, rp Params, pool *sched.Pool, clk []buildClock) {
+	numHubs := ih.NumHubs
+	class := make([]uint8, g.NumV)
 	ih.NewID = make([]graph.VID, g.NumV)
 	ih.OldID = make([]graph.VID, g.NumV)
-	next := 0
-	for i := 0; i < numHubs; i++ {
-		ih.OldID[next] = ranked[i]
-		ih.NewID[ranked[i]] = graph.VID(next)
-		next++
+
+	// Classify. The sequential pass walks the in-edges of every hub;
+	// the parallel pass flips the direction — each worker scans the
+	// out-edges of its own vertices for a hub destination — so every
+	// class[v] has exactly one writer. The two define the same VWEH
+	// set: s has an edge into some hub h iff h appears in Out(s).
+	if pool == nil {
+		for i := 0; i < numHubs; i++ {
+			class[ranked[i]] = classHub
+		}
+		for i := 0; i < numHubs; i++ {
+			for _, s := range g.In(ranked[i]) {
+				if class[s] == classFV {
+					class[s] = classVWEH
+				}
+			}
+		}
+	} else {
+		isHub := make([]bool, g.NumV)
+		pool.ForStatic(numHubs, func(worker, lo, hi int) {
+			t := time.Now()
+			markHubs(isHub, ranked, lo, hi)
+			c := &clk[worker]
+			c.relabel += time.Since(t)
+		})
+		pool.ForDynamic(g.NumV, 1024, func(worker, lo, hi int) {
+			t := time.Now()
+			classifyRange(g, isHub, class, lo, hi)
+			c := &clk[worker]
+			c.relabel += time.Since(t)
+		})
 	}
+
+	// Hubs take new IDs [0, numHubs) in rank order.
+	if pool == nil {
+		for i := 0; i < numHubs; i++ {
+			ih.OldID[i] = ranked[i]
+			ih.NewID[ranked[i]] = graph.VID(i)
+		}
+	} else {
+		pool.ForStatic(numHubs, func(worker, lo, hi int) {
+			t := time.Now()
+			assignHubs(ih.NewID, ih.OldID, ranked, lo, hi)
+			c := &clk[worker]
+			c.relabel += time.Since(t)
+		})
+	}
+
 	// rankWithin orders class members under the SparseOrder extension
 	// (§6: apply e.g. Rabbit-Order to the sparse block): nil means
 	// original order.
@@ -143,6 +233,12 @@ func Build(g *graph.Graph, p Params) (*IHTL, error) {
 	if rp.SparseOrder != nil {
 		rankWithin = rp.SparseOrder.Permutation(g)
 	}
+	if pool != nil && !rp.DegreeSortClasses && rankWithin == nil {
+		ih.NumVWEH = assignClassPar(ih, class, classVWEH, numHubs, pool, clk)
+		ih.NumFV = assignClassPar(ih, class, classFV, numHubs+ih.NumVWEH, pool, clk)
+		return
+	}
+	next := numHubs
 	assignClass := func(want uint8) int {
 		members := make([]graph.VID, 0)
 		for v := 0; v < g.NumV; v++ {
@@ -152,16 +248,15 @@ func Build(g *graph.Graph, p Params) (*IHTL, error) {
 		}
 		switch {
 		case rp.DegreeSortClasses:
-			sort.Slice(members, func(i, j int) bool {
-				di, dj := g.Degree(members[i]), g.Degree(members[j])
-				if di != dj {
-					return di > dj
+			slices.SortFunc(members, func(a, b graph.VID) int {
+				if c := cmp.Compare(g.Degree(b), g.Degree(a)); c != 0 {
+					return c
 				}
-				return members[i] < members[j]
+				return cmp.Compare(a, b)
 			})
 		case rankWithin != nil:
-			sort.Slice(members, func(i, j int) bool {
-				return rankWithin[members[i]] < rankWithin[members[j]]
+			slices.SortFunc(members, func(a, b graph.VID) int {
+				return cmp.Compare(rankWithin[a], rankWithin[b])
 			})
 		}
 		for _, v := range members {
@@ -173,31 +268,214 @@ func Build(g *graph.Graph, p Params) (*IHTL, error) {
 	}
 	ih.NumVWEH = assignClass(classVWEH)
 	ih.NumFV = assignClass(classFV)
+}
 
-	buildFlippedBlocks(g, ih, blocks)
-	buildSparseBlock(g, ih)
-
-	if got := ih.FlippedEdges() + ih.Sparse.NumEdges(); got != g.NumE {
-		return nil, fmt.Errorf("core: internal error: blocks cover %d edges, want %d", got, g.NumE)
+//ihtl:noalloc
+func markHubs(isHub []bool, ranked []graph.VID, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		isHub[ranked[i]] = true
 	}
-	return ih, nil
+}
+
+//ihtl:noalloc
+func classifyRange(g *graph.Graph, isHub []bool, class []uint8, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		if isHub[v] {
+			class[v] = classHub
+			continue
+		}
+		cl := uint8(classFV)
+		for _, d := range g.Out(graph.VID(v)) {
+			if isHub[d] {
+				cl = classVWEH
+				break
+			}
+		}
+		class[v] = cl
+	}
+}
+
+//ihtl:noalloc
+func assignHubs(newID, oldID, ranked []graph.VID, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		v := ranked[i]
+		oldID[i] = v
+		newID[v] = graph.VID(i)
+	}
+}
+
+// assignClassPar gives the members of one class their new IDs
+// starting at base, in ascending original-ID order — the same order
+// as the sequential scan — via a per-worker count/prefix/fill pass.
+func assignClassPar(ih *IHTL, class []uint8, want uint8, base int, pool *sched.Pool, clk []buildClock) int {
+	w := pool.Workers()
+	counts := make([]int64, w+1)
+	n := len(class)
+	pool.ForStatic(n, func(worker, lo, hi int) {
+		t := time.Now()
+		counts[worker+1] = countClass(class[lo:hi], want)
+		c := &clk[worker]
+		c.relabel += time.Since(t)
+	})
+	for i := 0; i < w; i++ {
+		counts[i+1] += counts[i]
+	}
+	pool.ForStatic(n, func(worker, lo, hi int) {
+		t := time.Now()
+		fillClass(class, lo, hi, want, base+int(counts[worker]), ih.NewID, ih.OldID)
+		c := &clk[worker]
+		c.relabel += time.Since(t)
+	})
+	return int(counts[w])
+}
+
+//ihtl:noalloc
+func countClass(class []uint8, want uint8) int64 {
+	var n int64
+	for _, c := range class {
+		if c == want {
+			n++
+		}
+	}
+	return n
+}
+
+//ihtl:noalloc
+func fillClass(class []uint8, lo, hi int, want uint8, next int, newID, oldID []graph.VID) {
+	for v := lo; v < hi; v++ {
+		if class[v] == want {
+			oldID[next] = graph.VID(v)
+			newID[v] = graph.VID(next)
+			next++
+		}
+	}
 }
 
 // rankByInDegree returns vertex IDs sorted by descending in-degree,
-// ties broken by ascending ID for determinism.
+// ties broken by ascending ID for determinism. Degrees are bounded by
+// NumE, so an O(V + maxDegree) counting sort replaces the previous
+// O(V log V) comparison sort: bucket starts are laid out from the
+// highest degree down, and an ascending-ID scatter preserves the tie
+// order.
 func rankByInDegree(g *graph.Graph) []graph.VID {
-	ranked := make([]graph.VID, g.NumV)
-	for v := range ranked {
-		ranked[v] = graph.VID(v)
-	}
-	sort.Slice(ranked, func(i, j int) bool {
-		di, dj := g.InDegree(ranked[i]), g.InDegree(ranked[j])
-		if di != dj {
-			return di > dj
+	n := g.NumV
+	ranked := make([]graph.VID, n)
+	maxDeg := maxInDegree(g, 0, n)
+	counts := make([]int64, maxDeg+1)
+	countDegrees(g, 0, n, counts)
+	descendingStarts(counts)
+	scatterRank(g, 0, n, counts, ranked)
+	return ranked
+}
+
+// rankByInDegreePar is rankByInDegree across the pool: per-worker
+// degree histograms over contiguous vertex ranges, a descending-degree
+// prefix over the folded totals, per-(degree,worker) scatter cursors,
+// and a per-worker scatter. Workers own ascending vertex ranges and
+// scatter ascending, so ties land in ascending-ID order — bit-for-bit
+// the sequential result.
+func rankByInDegreePar(g *graph.Graph, pool *sched.Pool, clk []buildClock) []graph.VID {
+	n := g.NumV
+	w := pool.Workers()
+	maxs := make([]int, w)
+	pool.ForStatic(n, func(worker, lo, hi int) {
+		t := time.Now()
+		maxs[worker] = maxInDegree(g, lo, hi)
+		c := &clk[worker]
+		c.rank += time.Since(t)
+	})
+	maxDeg := 0
+	for _, m := range maxs {
+		if m > maxDeg {
+			maxDeg = m
 		}
-		return ranked[i] < ranked[j]
+	}
+	k := maxDeg + 1
+	counts := make([]int64, w*k)
+	pool.ForStatic(n, func(worker, lo, hi int) {
+		t := time.Now()
+		countDegrees(g, lo, hi, counts[worker*k:(worker+1)*k])
+		c := &clk[worker]
+		c.rank += time.Since(t)
+	})
+	// Fold per-worker histograms into per-degree totals.
+	tot := make([]int64, k)
+	pool.ForStatic(k, func(worker, lo, hi int) {
+		t := time.Now()
+		for d := lo; d < hi; d++ {
+			var s int64
+			for i := 0; i < w; i++ {
+				s += counts[i*k+d]
+			}
+			tot[d] = s
+		}
+		c := &clk[worker]
+		c.rank += time.Since(t)
+	})
+	descendingStarts(tot)
+	// Worker i's run of degree d starts after the runs of workers < i.
+	pool.ForStatic(k, func(worker, lo, hi int) {
+		t := time.Now()
+		for d := lo; d < hi; d++ {
+			off := tot[d]
+			for i := 0; i < w; i++ {
+				c := counts[i*k+d]
+				counts[i*k+d] = off
+				off += c
+			}
+		}
+		c := &clk[worker]
+		c.rank += time.Since(t)
+	})
+	ranked := make([]graph.VID, n)
+	pool.ForStatic(n, func(worker, lo, hi int) {
+		t := time.Now()
+		scatterRank(g, lo, hi, counts[worker*k:(worker+1)*k], ranked)
+		c := &clk[worker]
+		c.rank += time.Since(t)
 	})
 	return ranked
+}
+
+//ihtl:noalloc
+func maxInDegree(g *graph.Graph, lo, hi int) int {
+	m := 0
+	for v := lo; v < hi; v++ {
+		if d := g.InDegree(graph.VID(v)); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+//ihtl:noalloc
+func countDegrees(g *graph.Graph, lo, hi int, counts []int64) {
+	for v := lo; v < hi; v++ {
+		counts[g.InDegree(graph.VID(v))]++
+	}
+}
+
+// descendingStarts turns per-degree counts into bucket start offsets
+// for a descending-degree layout: counts[d] becomes the number of
+// vertices with degree above d.
+//
+//ihtl:noalloc
+func descendingStarts(counts []int64) {
+	var off int64
+	for d := len(counts) - 1; d >= 0; d-- {
+		c := counts[d]
+		counts[d] = off
+		off += c
+	}
+}
+
+//ihtl:noalloc
+func scatterRank(g *graph.Graph, lo, hi int, cursor []int64, ranked []graph.VID) {
+	for v := lo; v < hi; v++ {
+		d := g.InDegree(graph.VID(v))
+		ranked[cursor[d]] = graph.VID(v)
+		cursor[d]++
+	}
 }
 
 // selectHubs implements §3.3: tentative blocks of B top-in-degree
@@ -364,7 +642,11 @@ func selectHubsFast(g *graph.Graph, ranked []graph.VID, p Params) (numHubs, bloc
 // buildFlippedBlocks creates the per-block push CSR: "a pass over
 // outgoing edges from {hubs ∪ VWEH} in the CSR representation of the
 // main graph and selecting edges with in-hub destinations" (§3.2).
-func buildFlippedBlocks(g *graph.Graph, ih *IHTL, numBlocks int) {
+// The parallel path partitions sources: each source's slot in every
+// block's Index (and its Dsts run) has exactly one writer, and the
+// run is filled in the same out-edge scan order as the sequential
+// pass, so the blocks come out identical.
+func buildFlippedBlocks(g *graph.Graph, ih *IHTL, numBlocks int, pool *sched.Pool, clk []buildClock) {
 	if numBlocks == 0 || ih.NumHubs == 0 {
 		return
 	}
@@ -383,74 +665,181 @@ func buildFlippedBlocks(g *graph.Graph, ih *IHTL, numBlocks int) {
 			Index: make([]int64, nsrc+1),
 		}
 	}
-	blockOf := func(hubNew int) int { return hubNew / b }
-
-	// Count per (source, block) degrees.
-	for s := 0; s < nsrc; s++ {
-		old := ih.OldID[s]
-		for _, d := range g.Out(old) {
-			nd := int(ih.NewID[d])
-			if nd < ih.NumHubs {
-				ih.Blocks[blockOf(nd)].Index[s+1]++
+	if pool == nil {
+		blockOf := func(hubNew int) int { return hubNew / b }
+		// Count per (source, block) degrees.
+		for s := 0; s < nsrc; s++ {
+			old := ih.OldID[s]
+			for _, d := range g.Out(old) {
+				nd := int(ih.NewID[d])
+				if nd < ih.NumHubs {
+					ih.Blocks[blockOf(nd)].Index[s+1]++
+				}
 			}
 		}
-	}
-	for blk := range ih.Blocks {
-		idx := ih.Blocks[blk].Index
-		for s := 0; s < nsrc; s++ {
-			idx[s+1] += idx[s]
+		for blk := range ih.Blocks {
+			idx := ih.Blocks[blk].Index
+			for s := 0; s < nsrc; s++ {
+				idx[s+1] += idx[s]
+			}
+			ih.Blocks[blk].Dsts = make([]graph.VID, idx[nsrc])
 		}
-		ih.Blocks[blk].Dsts = make([]graph.VID, idx[nsrc])
+		cursors := make([][]int64, numBlocks)
+		for blk := range cursors {
+			cursors[blk] = make([]int64, nsrc)
+			copy(cursors[blk], ih.Blocks[blk].Index[:nsrc])
+		}
+		for s := 0; s < nsrc; s++ {
+			old := ih.OldID[s]
+			for _, d := range g.Out(old) {
+				nd := int(ih.NewID[d])
+				if nd < ih.NumHubs {
+					blk := blockOf(nd)
+					ih.Blocks[blk].Dsts[cursors[blk][s]] = graph.VID(nd)
+					cursors[blk][s]++
+				}
+			}
+		}
+		for blk := range ih.Blocks {
+			fb := &ih.Blocks[blk]
+			fb.Sources = countBlockSources(fb.Index, nsrc)
+		}
+		return
+	}
+
+	pool.ForDynamic(nsrc, 512, func(worker, lo, hi int) {
+		t := time.Now()
+		countFlippedRange(g, ih, b, lo, hi)
+		c := &clk[worker]
+		c.blocks += time.Since(t)
+	})
+	for blk := range ih.Blocks {
+		sched.PrefixSum(pool, ih.Blocks[blk].Index)
+		ih.Blocks[blk].Dsts = make([]graph.VID, ih.Blocks[blk].Index[nsrc])
 	}
 	cursors := make([][]int64, numBlocks)
 	for blk := range cursors {
 		cursors[blk] = make([]int64, nsrc)
-		copy(cursors[blk], ih.Blocks[blk].Index[:nsrc])
 	}
-	for s := 0; s < nsrc; s++ {
+	pool.ForStatic(nsrc, func(worker, lo, hi int) {
+		t := time.Now()
+		for blk := range cursors {
+			copy(cursors[blk][lo:hi], ih.Blocks[blk].Index[lo:hi])
+		}
+		c := &clk[worker]
+		c.blocks += time.Since(t)
+	})
+	pool.ForDynamic(nsrc, 512, func(worker, lo, hi int) {
+		t := time.Now()
+		fillFlippedRange(g, ih, cursors, b, lo, hi)
+		c := &clk[worker]
+		c.blocks += time.Since(t)
+	})
+	pool.ForEachPart(numBlocks, func(worker, blk int) {
+		t := time.Now()
+		fb := &ih.Blocks[blk]
+		fb.Sources = countBlockSources(fb.Index, nsrc)
+		c := &clk[worker]
+		c.blocks += time.Since(t)
+	})
+}
+
+//ihtl:noalloc
+func countFlippedRange(g *graph.Graph, ih *IHTL, b, lo, hi int) {
+	for s := lo; s < hi; s++ {
 		old := ih.OldID[s]
 		for _, d := range g.Out(old) {
 			nd := int(ih.NewID[d])
 			if nd < ih.NumHubs {
-				blk := blockOf(nd)
-				ih.Blocks[blk].Dsts[cursors[blk][s]] = graph.VID(nd)
-				cursors[blk][s]++
-			}
-		}
-	}
-	for blk := range ih.Blocks {
-		fb := &ih.Blocks[blk]
-		for s := 0; s < nsrc; s++ {
-			if fb.Index[s+1] > fb.Index[s] {
-				fb.Sources++
+				ih.Blocks[nd/b].Index[s+1]++
 			}
 		}
 	}
 }
 
+//ihtl:noalloc
+func fillFlippedRange(g *graph.Graph, ih *IHTL, cursors [][]int64, b, lo, hi int) {
+	for s := lo; s < hi; s++ {
+		old := ih.OldID[s]
+		for _, d := range g.Out(old) {
+			nd := int(ih.NewID[d])
+			if nd < ih.NumHubs {
+				blk := nd / b
+				cur := cursors[blk]
+				ih.Blocks[blk].Dsts[cur[s]] = graph.VID(nd)
+				cur[s]++
+			}
+		}
+	}
+}
+
+//ihtl:noalloc
+func countBlockSources(index []int64, nsrc int) int {
+	n := 0
+	for s := 0; s < nsrc; s++ {
+		if index[s+1] > index[s] {
+			n++
+		}
+	}
+	return n
+}
+
 // buildSparseBlock creates the pull CSC over non-hub destinations:
 // "a pass over the CSC representation of the main graph for all
 // in-edges to {VWEH ∪ FV} and relabeling source of edges" (§3.2).
-func buildSparseBlock(g *graph.Graph, ih *IHTL) {
+// Destinations are independent — each owns a disjoint Srcs run — so
+// the parallel fill work-steals over them (per-destination work is as
+// skewed as the in-degree distribution).
+func buildSparseBlock(g *graph.Graph, ih *IHTL, pool *sched.Pool, clk []buildClock) {
 	destLo := ih.NumHubs
 	n := ih.NumV - destLo
 	sp := &ih.Sparse
 	sp.DestLo = destLo
 	sp.Index = make([]int64, n+1)
-	for nv := destLo; nv < ih.NumV; nv++ {
-		old := ih.OldID[nv]
-		sp.Index[nv-destLo+1] = int64(g.InDegree(old))
-	}
-	for i := 0; i < n; i++ {
-		sp.Index[i+1] += sp.Index[i]
-	}
-	sp.Srcs = make([]graph.VID, sp.Index[n])
-	for nv := destLo; nv < ih.NumV; nv++ {
-		old := ih.OldID[nv]
-		dst := sp.Srcs[sp.Index[nv-destLo]:sp.Index[nv-destLo+1]]
-		for i, s := range g.In(old) {
-			dst[i] = ih.NewID[s]
+	if pool == nil {
+		for nv := destLo; nv < ih.NumV; nv++ {
+			old := ih.OldID[nv]
+			sp.Index[nv-destLo+1] = int64(g.InDegree(old))
 		}
-		sort.Slice(dst, func(a, b int) bool { return dst[a] < dst[b] })
+		for i := 0; i < n; i++ {
+			sp.Index[i+1] += sp.Index[i]
+		}
+		sp.Srcs = make([]graph.VID, sp.Index[n])
+		for nv := destLo; nv < ih.NumV; nv++ {
+			fillSparseDest(g, ih, nv)
+		}
+		return
 	}
+	idx := sp.Index
+	pool.ForStatic(n, func(worker, lo, hi int) {
+		t := time.Now()
+		for i := lo; i < hi; i++ {
+			idx[i+1] = int64(g.InDegree(ih.OldID[destLo+i]))
+		}
+		c := &clk[worker]
+		c.blocks += time.Since(t)
+	})
+	sched.PrefixSum(pool, sp.Index)
+	sp.Srcs = make([]graph.VID, sp.Index[n])
+	pool.ForSteal(n, 64, func(worker, lo, hi int) {
+		t := time.Now()
+		for i := lo; i < hi; i++ {
+			fillSparseDest(g, ih, destLo+i)
+		}
+		c := &clk[worker]
+		c.blocks += time.Since(t)
+	})
+}
+
+//ihtl:noalloc
+func fillSparseDest(g *graph.Graph, ih *IHTL, nv int) {
+	sp := &ih.Sparse
+	lo := sp.Index[nv-sp.DestLo]
+	hi := sp.Index[nv-sp.DestLo+1]
+	dst := sp.Srcs[lo:hi]
+	old := ih.OldID[nv]
+	for i, s := range g.In(old) {
+		dst[i] = ih.NewID[s]
+	}
+	slices.Sort(dst)
 }

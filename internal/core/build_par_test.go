@@ -1,0 +1,196 @@
+package core
+
+import (
+	"runtime"
+	"slices"
+	"testing"
+
+	"ihtl/internal/gen"
+	"ihtl/internal/graph"
+	"ihtl/internal/sched"
+)
+
+// buildWorkerCounts are the pool sizes the determinism suite sweeps:
+// the demoted single-worker path, an odd count, the machine default,
+// and a count larger than this container's core count.
+func buildWorkerCounts() []int {
+	return []int{1, 3, runtime.GOMAXPROCS(0), 6}
+}
+
+// buildTestGraphs returns the graphs the determinism tests run over:
+// the paper's worked example, a social-network-like R-MAT and a
+// web-like graph with extreme in-hubs.
+func buildTestGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	rmat, err := gen.RMAT(gen.DefaultRMAT(10, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	web, err := gen.Web(gen.DefaultWeb(4000, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*graph.Graph{
+		"paper": graph.PaperExample(),
+		"rmat":  rmat,
+		"web":   web,
+	}
+}
+
+// TestRankByInDegreeMatchesReference checks both counting-sort
+// rankings (sequential and parallel) against a comparison-sort
+// reference with the §3.3 order: descending in-degree, ties by
+// ascending original ID.
+func TestRankByInDegreeMatchesReference(t *testing.T) {
+	for name, g := range buildTestGraphs(t) {
+		want := make([]graph.VID, g.NumV)
+		for v := range want {
+			want[v] = graph.VID(v)
+		}
+		slices.SortStableFunc(want, func(a, b graph.VID) int {
+			return g.InDegree(b) - g.InDegree(a)
+		})
+		got := rankByInDegree(g)
+		if !slices.Equal(got, want) {
+			t.Fatalf("%s: sequential rankByInDegree deviates from reference", name)
+		}
+		for _, w := range buildWorkerCounts() {
+			if w <= 1 {
+				continue // rankByInDegreePar requires a live pool
+			}
+			p := sched.NewPool(w)
+			clk := make([]buildClock, p.Workers())
+			got := rankByInDegreePar(g, p, clk)
+			p.Close()
+			if !slices.Equal(got, want) {
+				t.Fatalf("%s/w%d: parallel ranking deviates from reference", name, w)
+			}
+		}
+	}
+}
+
+// requireIHTLEqual compares every externally visible field of two
+// iHTL builds: counts, relabeling arrays, each flipped block's index
+// and destination arrays, and the sparse block.
+func requireIHTLEqual(t *testing.T, label string, want, got *IHTL) {
+	t.Helper()
+	if got.NumHubs != want.NumHubs || got.NumVWEH != want.NumVWEH || got.NumFV != want.NumFV {
+		t.Fatalf("%s: classes = %d/%d/%d, want %d/%d/%d", label,
+			got.NumHubs, got.NumVWEH, got.NumFV, want.NumHubs, want.NumVWEH, want.NumFV)
+	}
+	if got.MinHubDegree != want.MinHubDegree {
+		t.Fatalf("%s: MinHubDegree = %d, want %d", label, got.MinHubDegree, want.MinHubDegree)
+	}
+	if !slices.Equal(got.NewID, want.NewID) {
+		t.Fatalf("%s: NewID differs", label)
+	}
+	if !slices.Equal(got.OldID, want.OldID) {
+		t.Fatalf("%s: OldID differs", label)
+	}
+	if len(got.Blocks) != len(want.Blocks) {
+		t.Fatalf("%s: %d flipped blocks, want %d", label, len(got.Blocks), len(want.Blocks))
+	}
+	for b := range want.Blocks {
+		wb, gb := &want.Blocks[b], &got.Blocks[b]
+		if gb.HubLo != wb.HubLo || gb.HubHi != wb.HubHi || gb.Sources != wb.Sources {
+			t.Fatalf("%s: block %d header = [%d,%d) src %d, want [%d,%d) src %d", label, b,
+				gb.HubLo, gb.HubHi, gb.Sources, wb.HubLo, wb.HubHi, wb.Sources)
+		}
+		if !slices.Equal(gb.Index, wb.Index) {
+			t.Fatalf("%s: block %d Index differs", label, b)
+		}
+		if !slices.Equal(gb.Dsts, wb.Dsts) {
+			t.Fatalf("%s: block %d Dsts differs", label, b)
+		}
+	}
+	if got.Sparse.DestLo != want.Sparse.DestLo {
+		t.Fatalf("%s: Sparse.DestLo = %d, want %d", label, got.Sparse.DestLo, want.Sparse.DestLo)
+	}
+	if !slices.Equal(got.Sparse.Index, want.Sparse.Index) {
+		t.Fatalf("%s: Sparse.Index differs", label)
+	}
+	if !slices.Equal(got.Sparse.Srcs, want.Sparse.Srcs) {
+		t.Fatalf("%s: Sparse.Srcs differs", label)
+	}
+}
+
+// TestBuildWithParallelDeterminism checks that BuildWith on a pool
+// produces an iHTL graph bit-for-bit identical to the sequential
+// Build — relabeling arrays, every flipped block, the sparse block —
+// across worker counts and parameter variants.
+func TestBuildWithParallelDeterminism(t *testing.T) {
+	variants := map[string]Params{
+		"default":    {HubsPerBlock: 256},
+		"fastselect": {HubsPerBlock: 256, FastSelect: true},
+		"degreesort": {HubsPerBlock: 256, DegreeSortClasses: true},
+		"multiblock": {HubsPerBlock: 16, FVThreshold: 0.05, MaxBlocks: 32},
+	}
+	for gname, g := range buildTestGraphs(t) {
+		for vname, p := range variants {
+			want, err := Build(g, p)
+			if err != nil {
+				t.Fatalf("%s/%s: sequential Build: %v", gname, vname, err)
+			}
+			for _, w := range buildWorkerCounts() {
+				pool := sched.NewPool(w)
+				got, err := BuildWith(g, p, pool)
+				pool.Close()
+				if err != nil {
+					t.Fatalf("%s/%s/w%d: BuildWith: %v", gname, vname, w, err)
+				}
+				requireIHTLEqual(t, gname+"/"+vname, want, got)
+			}
+		}
+	}
+}
+
+// TestBuildStatsPopulated checks that both paths fill the phase
+// breakdown, and that the parallel path also accumulates busy time.
+func TestBuildStatsPopulated(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(10, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ih, err := BuildWith(g, Params{HubsPerBlock: 256}, testPool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := ih.BuildStats()
+	if bs.Wall <= 0 {
+		t.Fatalf("Wall = %v, want > 0", bs.Wall)
+	}
+	if bs.Rank+bs.Select+bs.Relabel+bs.Blocks <= 0 {
+		t.Fatalf("phase sum = %v, want > 0", bs.Rank+bs.Select+bs.Relabel+bs.Blocks)
+	}
+	if bs.Rank+bs.Select+bs.Relabel+bs.Blocks > bs.Wall {
+		t.Fatalf("phases (%v) exceed wall (%v)", bs.Rank+bs.Select+bs.Relabel+bs.Blocks, bs.Wall)
+	}
+	if bs.RankBusy+bs.RelabelBusy+bs.BlocksBusy <= 0 {
+		t.Fatal("parallel build accumulated no busy time")
+	}
+}
+
+// TestBuildWithParallelStress repeats a larger parallel build under
+// the race detector and compares against the sequential reference.
+func TestBuildWithParallelStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	g, err := gen.RMAT(gen.DefaultRMAT(12, 10, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Build(g, Params{HubsPerBlock: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := sched.NewPool(8)
+	defer pool.Close()
+	for round := 0; round < 3; round++ {
+		got, err := BuildWith(g, Params{HubsPerBlock: 512}, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIHTLEqual(t, "stress", want, got)
+	}
+}

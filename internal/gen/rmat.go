@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"ihtl/internal/graph"
+	"ihtl/internal/sched"
 	"ihtl/internal/xrand"
 )
 
@@ -41,6 +42,10 @@ type RMATConfig struct {
 	Reciprocity float64
 	// Seed selects the deterministic random stream.
 	Seed uint64
+	// Pool parallelises the CSR/CSC build of the generated edge list
+	// (edge generation itself is a sequential random stream). Nil
+	// builds sequentially; the result is identical either way.
+	Pool *sched.Pool
 }
 
 // DefaultRMAT returns the Graph500 social-network configuration at the
@@ -126,5 +131,6 @@ func RMAT(cfg RMATConfig) (*graph.Graph, error) {
 		Dedup:            true,
 		DropSelfLoops:    true,
 		RemoveZeroDegree: true,
+		Pool:             cfg.Pool,
 	})
 }

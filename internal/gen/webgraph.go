@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"ihtl/internal/graph"
+	"ihtl/internal/sched"
 	"ihtl/internal/xrand"
 )
 
@@ -57,6 +58,10 @@ type WebConfig struct {
 	LocalZipfExponent float64
 	// Seed selects the deterministic random stream.
 	Seed uint64
+	// Pool parallelises the CSR/CSC build of the generated edge list
+	// (edge generation itself is a sequential random stream). Nil
+	// builds sequentially; the result is identical either way.
+	Pool *sched.Pool
 }
 
 // DefaultWeb returns a web-like configuration for n pages.
@@ -166,5 +171,6 @@ func Web(cfg WebConfig) (*graph.Graph, error) {
 		Dedup:            true,
 		DropSelfLoops:    true,
 		RemoveZeroDegree: true,
+		Pool:             cfg.Pool,
 	})
 }

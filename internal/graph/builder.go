@@ -2,7 +2,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"ihtl/internal/sched"
 )
@@ -20,7 +20,8 @@ type BuildOptions struct {
 	// destructive effect").
 	RemoveZeroDegree bool
 	// Pool is the worker pool to parallelise the build with. When
-	// nil the build runs sequentially.
+	// nil the build runs sequentially. Parallel builds produce output
+	// bit-for-bit identical to sequential builds.
 	Pool *sched.Pool
 }
 
@@ -40,36 +41,47 @@ func FromEdges(numV int, edges []Edge) *Graph {
 	return g
 }
 
+// keySrc and keyDst select the bucketing key for the CSR and CSC
+// sides. Package-level functions (not closures) so the hot counting
+// and scatter loops stay allocation-free.
+//
+//ihtl:noalloc
+func keySrc(e Edge) (VID, VID) { return e.Src, e.Dst }
+
+//ihtl:noalloc
+func keyDst(e Edge) (VID, VID) { return e.Dst, e.Src }
+
 // Build constructs the dual CSR/CSC representation from an edge list
 // in O(V + E) time using counting sort (no comparison sort on the
-// edge list). The input slice is not modified.
+// edge list). The input slice is not modified. With opt.Pool set,
+// every pass — validation, filtering, bucketing, adjacency sort,
+// dedup and zero-degree compaction — runs across the pool's workers
+// via per-worker count/prefix/fill passes whose output is identical
+// to the sequential build.
 func Build(numV int, edges []Edge, opt BuildOptions) (*Graph, error) {
 	if numV < 0 || numV >= 1<<32 {
 		return nil, fmt.Errorf("graph: vertex count %d out of range", numV)
 	}
-	for i, e := range edges {
-		if int(e.Src) >= numV || int(e.Dst) >= numV {
-			return nil, fmt.Errorf("graph: edge %d (%d->%d) out of range [0,%d)", i, e.Src, e.Dst, numV)
-		}
+	pool := opt.Pool
+	if pool != nil && pool.Workers() <= 1 {
+		pool = nil
+	}
+	if bad := validateEdges(numV, edges, pool); bad >= 0 {
+		e := edges[bad]
+		return nil, fmt.Errorf("graph: edge %d (%d->%d) out of range [0,%d)", bad, e.Src, e.Dst, numV)
 	}
 	if opt.DropSelfLoops {
-		kept := make([]Edge, 0, len(edges))
-		for _, e := range edges {
-			if e.Src != e.Dst {
-				kept = append(kept, e)
-			}
-		}
-		edges = kept
+		edges = dropSelfLoops(edges, pool)
 	}
 
 	g := &Graph{NumV: numV}
-	g.OutIndex, g.OutNbrs = bucketByKey(numV, edges, func(e Edge) (VID, VID) { return e.Src, e.Dst })
-	g.InIndex, g.InNbrs = bucketByKey(numV, edges, func(e Edge) (VID, VID) { return e.Dst, e.Src })
-	sortAdjacency(g.OutIndex, g.OutNbrs, opt.Pool)
-	sortAdjacency(g.InIndex, g.InNbrs, opt.Pool)
+	g.OutIndex, g.OutNbrs = bucketByKey(numV, edges, keySrc, pool)
+	g.InIndex, g.InNbrs = bucketByKey(numV, edges, keyDst, pool)
+	sortAdjacency(g.OutIndex, g.OutNbrs, pool)
+	sortAdjacency(g.InIndex, g.InNbrs, pool)
 	if opt.Dedup {
-		g.OutIndex, g.OutNbrs = dedupAdjacency(g.OutIndex, g.OutNbrs)
-		g.InIndex, g.InNbrs = dedupAdjacency(g.InIndex, g.InNbrs)
+		g.OutIndex, g.OutNbrs = dedupAdjacency(g.OutIndex, g.OutNbrs, pool)
+		g.InIndex, g.InNbrs = dedupAdjacency(g.InIndex, g.InNbrs, pool)
 		if g.OutIndex[numV] != g.InIndex[numV] {
 			// Cannot happen: dedup on both sides removes the same
 			// duplicate (src,dst) pairs.
@@ -79,81 +91,337 @@ func Build(numV int, edges []Edge, opt BuildOptions) (*Graph, error) {
 	g.NumE = g.OutIndex[numV]
 
 	if opt.RemoveZeroDegree {
-		g = compactZeroDegree(g)
+		g = compactZeroDegree(g, pool)
 	}
 	return g, nil
 }
 
+// validateEdges returns the index of the first out-of-range edge, or
+// -1 when all edges are valid. The parallel reduction keeps the
+// earliest bad index so the error message matches the sequential scan.
+func validateEdges(numV int, edges []Edge, pool *sched.Pool) int {
+	if pool == nil || len(edges) == 0 {
+		return firstBadEdge(numV, edges, 0)
+	}
+	bad := make([]int, pool.Workers())
+	for i := range bad {
+		bad[i] = -1
+	}
+	pool.ForStatic(len(edges), func(w, lo, hi int) {
+		bad[w] = firstBadEdge(numV, edges[lo:hi], lo)
+	})
+	first := -1
+	for _, b := range bad {
+		if b >= 0 && (first < 0 || b < first) {
+			first = b
+		}
+	}
+	return first
+}
+
+//ihtl:noalloc
+func firstBadEdge(numV int, edges []Edge, base int) int {
+	for i, e := range edges {
+		if int(e.Src) >= numV || int(e.Dst) >= numV {
+			return base + i
+		}
+	}
+	return -1
+}
+
+// dropSelfLoops filters (v,v) edges, preserving edge order. The
+// parallel path is a stable per-worker count/prefix/fill.
+func dropSelfLoops(edges []Edge, pool *sched.Pool) []Edge {
+	if pool == nil {
+		kept := make([]Edge, 0, len(edges))
+		for _, e := range edges {
+			if e.Src != e.Dst {
+				kept = append(kept, e)
+			}
+		}
+		return kept
+	}
+	w := pool.Workers()
+	counts := make([]int64, w+1)
+	pool.ForStatic(len(edges), func(worker, lo, hi int) {
+		counts[worker+1] = countNonLoops(edges[lo:hi])
+	})
+	for i := 0; i < w; i++ {
+		counts[i+1] += counts[i]
+	}
+	kept := make([]Edge, counts[w])
+	pool.ForStatic(len(edges), func(worker, lo, hi int) {
+		fillNonLoops(edges[lo:hi], kept[counts[worker]:counts[worker+1]])
+	})
+	return kept
+}
+
+//ihtl:noalloc
+func countNonLoops(edges []Edge) int64 {
+	var n int64
+	for _, e := range edges {
+		if e.Src != e.Dst {
+			n++
+		}
+	}
+	return n
+}
+
+//ihtl:noalloc
+func fillNonLoops(edges []Edge, out []Edge) {
+	i := 0
+	for _, e := range edges {
+		if e.Src != e.Dst {
+			out[i] = e
+			i++
+		}
+	}
+}
+
 // bucketByKey groups edges by key vertex via counting sort, returning
-// the offset array and the grouped values.
-func bucketByKey(numV int, edges []Edge, kv func(Edge) (key, val VID)) ([]int64, []VID) {
+// the offset array and the grouped values. With a pool, each worker
+// histograms a contiguous edge range, the per-worker histograms are
+// folded and prefix-summed into the offset array, and each worker
+// scatters its own range through per-(vertex,worker) cursors. Workers
+// own ascending edge ranges and scatter in input order, so the result
+// is the same stable bucket order as the sequential loop.
+func bucketByKey(numV int, edges []Edge, kv func(Edge) (key, val VID), pool *sched.Pool) ([]int64, []VID) {
 	index := make([]int64, numV+1)
+	nbrs := make([]VID, len(edges))
+	if numV == 0 {
+		return index, nbrs
+	}
+	if pool == nil {
+		countKeys(edges, index[1:], kv)
+		prefixSeq(index)
+		cursor := make([]int64, numV)
+		copy(cursor, index[:numV])
+		scatterEdges(edges, cursor, nbrs, kv)
+		return index, nbrs
+	}
+	w := pool.Workers()
+	counts := make([]int64, w*numV)
+	pool.ForStatic(len(edges), func(worker, lo, hi int) {
+		countKeys(edges[lo:hi], counts[worker*numV:(worker+1)*numV], kv)
+	})
+	// Fold per-worker histograms into per-vertex totals.
+	pool.ForStatic(numV, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			var t int64
+			for i := 0; i < w; i++ {
+				t += counts[i*numV+v]
+			}
+			index[v+1] = t
+		}
+	})
+	sched.PrefixSum(pool, index)
+	// Turn the histograms into scatter cursors: worker i's run of key
+	// v starts after the runs of workers < i.
+	pool.ForStatic(numV, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			off := index[v]
+			for i := 0; i < w; i++ {
+				c := counts[i*numV+v]
+				counts[i*numV+v] = off
+				off += c
+			}
+		}
+	})
+	pool.ForStatic(len(edges), func(worker, lo, hi int) {
+		scatterEdges(edges[lo:hi], counts[worker*numV:(worker+1)*numV], nbrs, kv)
+	})
+	return index, nbrs
+}
+
+//ihtl:noalloc
+func prefixSeq(a []int64) {
+	var s int64
+	for i := range a {
+		s += a[i]
+		a[i] = s
+	}
+}
+
+//ihtl:noalloc
+func countKeys(edges []Edge, counts []int64, kv func(Edge) (key, val VID)) {
 	for _, e := range edges {
 		k, _ := kv(e)
-		index[k+1]++
+		counts[k]++
 	}
-	for v := 0; v < numV; v++ {
-		index[v+1] += index[v]
-	}
-	nbrs := make([]VID, len(edges))
-	cursor := make([]int64, numV)
-	copy(cursor, index[:numV])
+}
+
+//ihtl:noalloc
+func scatterEdges(edges []Edge, cursor []int64, nbrs []VID, kv func(Edge) (key, val VID)) {
 	for _, e := range edges {
 		k, val := kv(e)
 		nbrs[cursor[k]] = val
 		cursor[k]++
 	}
-	return index, nbrs
 }
 
-// sortAdjacency sorts each vertex's neighbour list ascending, in
-// parallel when a pool is supplied.
+// sortAdjacency sorts each vertex's neighbour list ascending, work-
+// stealing across vertex ranges when a pool is supplied (per-vertex
+// work is as skewed as the degree distribution).
 func sortAdjacency(index []int64, nbrs []VID, pool *sched.Pool) {
 	n := len(index) - 1
-	sortOne := func(v int) {
-		lo, hi := index[v], index[v+1]
-		if hi-lo > 1 {
-			s := nbrs[lo:hi]
-			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-		}
-	}
 	if pool == nil {
 		for v := 0; v < n; v++ {
-			sortOne(v)
+			sortRange(index, nbrs, v)
 		}
 		return
 	}
-	pool.ForDynamic(n, 256, func(w, lo, hi int) {
+	pool.ForSteal(n, 256, func(_, lo, hi int) {
 		for v := lo; v < hi; v++ {
-			sortOne(v)
+			sortRange(index, nbrs, v)
 		}
 	})
 }
 
+//ihtl:noalloc
+func sortRange(index []int64, nbrs []VID, v int) {
+	lo, hi := index[v], index[v+1]
+	if hi-lo > 1 {
+		slices.Sort(nbrs[lo:hi])
+	}
+}
+
 // dedupAdjacency removes consecutive duplicates from each sorted
-// neighbour list, rebuilding the offset array.
-func dedupAdjacency(index []int64, nbrs []VID) ([]int64, []VID) {
+// neighbour list, rebuilding the offset array. The sequential path
+// compacts in place; the parallel path counts unique neighbours per
+// vertex, prefix-sums, and fills a fresh value array (in-place
+// compaction is not safe when another worker may still be reading
+// the overwritten range).
+func dedupAdjacency(index []int64, nbrs []VID, pool *sched.Pool) ([]int64, []VID) {
 	n := len(index) - 1
-	newIndex := make([]int64, n+1)
-	w := int64(0)
-	for v := 0; v < n; v++ {
-		newIndex[v] = w
-		lo, hi := index[v], index[v+1]
-		for i := lo; i < hi; i++ {
-			if i > lo && nbrs[i] == nbrs[i-1] {
-				continue
+	if pool == nil {
+		newIndex := make([]int64, n+1)
+		w := int64(0)
+		for v := 0; v < n; v++ {
+			newIndex[v] = w
+			lo, hi := index[v], index[v+1]
+			for i := lo; i < hi; i++ {
+				if i > lo && nbrs[i] == nbrs[i-1] {
+					continue
+				}
+				nbrs[w] = nbrs[i]
+				w++
 			}
-			nbrs[w] = nbrs[i]
+		}
+		newIndex[n] = w
+		return newIndex, nbrs[:w:w]
+	}
+	newIndex := make([]int64, n+1)
+	pool.ForSteal(n, 256, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			newIndex[v+1] = countUnique(nbrs[index[v]:index[v+1]])
+		}
+	})
+	sched.PrefixSum(pool, newIndex)
+	out := make([]VID, newIndex[n])
+	pool.ForSteal(n, 256, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			fillUnique(nbrs[index[v]:index[v+1]], out[newIndex[v]:newIndex[v+1]])
+		}
+	})
+	return newIndex, out
+}
+
+//ihtl:noalloc
+func countUnique(sorted []VID) int64 {
+	var n int64
+	for i := range sorted {
+		if i == 0 || sorted[i] != sorted[i-1] {
+			n++
+		}
+	}
+	return n
+}
+
+//ihtl:noalloc
+func fillUnique(sorted []VID, out []VID) {
+	w := 0
+	for i := range sorted {
+		if i == 0 || sorted[i] != sorted[i-1] {
+			out[w] = sorted[i]
 			w++
 		}
 	}
-	newIndex[n] = w
-	return newIndex, nbrs[:w:w]
 }
 
 // compactZeroDegree removes vertices with no edges at all and
 // renumbers the remaining vertices, preserving their relative order.
-func compactZeroDegree(g *Graph) *Graph {
+func compactZeroDegree(g *Graph, pool *sched.Pool) *Graph {
+	if pool == nil {
+		return compactZeroDegreeSeq(g)
+	}
+	w := pool.Workers()
+	counts := make([]int64, w+1)
+	pool.ForStatic(g.NumV, func(worker, lo, hi int) {
+		var c int64
+		for v := lo; v < hi; v++ {
+			if g.OutIndex[v+1] > g.OutIndex[v] || g.InIndex[v+1] > g.InIndex[v] {
+				c++
+			}
+		}
+		counts[worker+1] = c
+	})
+	for i := 0; i < w; i++ {
+		counts[i+1] += counts[i]
+	}
+	kept := int(counts[w])
+	if kept == g.NumV {
+		return g
+	}
+	remap := make([]VID, g.NumV)
+	oldOf := make([]VID, kept)
+	pool.ForStatic(g.NumV, func(worker, lo, hi int) {
+		next := counts[worker]
+		for v := lo; v < hi; v++ {
+			if g.OutIndex[v+1] > g.OutIndex[v] || g.InIndex[v+1] > g.InIndex[v] {
+				remap[v] = VID(next)
+				oldOf[next] = VID(v)
+				next++
+			} else {
+				remap[v] = ^VID(0)
+			}
+		}
+	})
+	ng := &Graph{
+		NumV:     kept,
+		NumE:     g.NumE,
+		OutIndex: make([]int64, kept+1),
+		OutNbrs:  make([]VID, g.NumE),
+		InIndex:  make([]int64, kept+1),
+		InNbrs:   make([]VID, g.NumE),
+	}
+	outIndex, inIndex := ng.OutIndex, ng.InIndex
+	pool.ForStatic(kept, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			v := oldOf[u]
+			outIndex[u+1] = g.OutIndex[v+1] - g.OutIndex[v]
+			inIndex[u+1] = g.InIndex[v+1] - g.InIndex[v]
+		}
+	})
+	sched.PrefixSum(pool, ng.OutIndex)
+	sched.PrefixSum(pool, ng.InIndex)
+	pool.ForSteal(kept, 256, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			v := oldOf[u]
+			remapCopy(ng.OutNbrs[ng.OutIndex[u]:ng.OutIndex[u+1]], g.OutNbrs[g.OutIndex[v]:g.OutIndex[v+1]], remap)
+			remapCopy(ng.InNbrs[ng.InIndex[u]:ng.InIndex[u+1]], g.InNbrs[g.InIndex[v]:g.InIndex[v+1]], remap)
+		}
+	})
+	return ng
+}
+
+//ihtl:noalloc
+func remapCopy(dst, src, remap []VID) {
+	for i, u := range src {
+		dst[i] = remap[u]
+	}
+}
+
+func compactZeroDegreeSeq(g *Graph) *Graph {
 	remap := make([]VID, g.NumV)
 	kept := 0
 	for v := 0; v < g.NumV; v++ {

@@ -2,7 +2,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Relabel returns a new graph in which every vertex v of g is renamed
@@ -52,12 +52,12 @@ func Relabel(g *Graph, newID []VID) (*Graph, error) {
 		for i, u := range g.Out(VID(v)) {
 			dst[i] = newID[u]
 		}
-		sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+		slices.Sort(dst)
 		din := ng.InNbrs[ng.InIndex[nv]:ng.InIndex[nv+1]]
 		for i, u := range g.In(VID(v)) {
 			din[i] = newID[u]
 		}
-		sort.Slice(din, func(i, j int) bool { return din[i] < din[j] })
+		slices.Sort(din)
 	}
 	return ng, nil
 }

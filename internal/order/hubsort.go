@@ -1,7 +1,8 @@
 package order
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"ihtl/internal/graph"
 )
@@ -60,12 +61,11 @@ func (h HubSort) Permutation(g *graph.Graph) []graph.VID {
 			hubs = append(hubs, graph.VID(v))
 		}
 	}
-	sort.Slice(hubs, func(i, j int) bool {
-		di, dj := deg(hubs[i]), deg(hubs[j])
-		if di != dj {
-			return di > dj
+	slices.SortFunc(hubs, func(a, b graph.VID) int {
+		if c := cmp.Compare(deg(b), deg(a)); c != 0 {
+			return c
 		}
-		return hubs[i] < hubs[j]
+		return cmp.Compare(a, b)
 	})
 	isHub := make([]bool, n)
 	for rank, v := range hubs {

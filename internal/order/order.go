@@ -14,7 +14,8 @@
 package order
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"ihtl/internal/graph"
 )
@@ -65,12 +66,11 @@ func (d DegreeSort) Permutation(g *graph.Graph) []graph.VID {
 	for v := range ids {
 		ids[v] = graph.VID(v)
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		di, dj := deg(ids[i]), deg(ids[j])
-		if di != dj {
-			return di > dj
+	slices.SortFunc(ids, func(a, b graph.VID) int {
+		if c := cmp.Compare(deg(b), deg(a)); c != 0 {
+			return c
 		}
-		return ids[i] < ids[j]
+		return cmp.Compare(a, b)
 	})
 	perm := make([]graph.VID, g.NumV)
 	for rank, v := range ids {

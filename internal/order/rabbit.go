@@ -1,7 +1,8 @@
 package order
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"ihtl/internal/graph"
 )
@@ -61,7 +62,7 @@ func (r RabbitOrder) Permutation(g *graph.Graph) []graph.VID {
 			lst = append(lst, aggEdge{to: u, w: w})
 			totalW += w
 		}
-		sort.Slice(lst, func(i, j int) bool { return lst[i].to < lst[j].to })
+		slices.SortFunc(lst, func(a, b aggEdge) int { return cmp.Compare(a.to, b.to) })
 		adj[v] = lst
 	}
 	totalW /= 2 // each undirected edge seen from both endpoints
@@ -86,12 +87,11 @@ func (r RabbitOrder) Permutation(g *graph.Graph) []graph.VID {
 	for level := 0; level < maxLevels && len(alive) > 1; level++ {
 		// Visit communities by increasing strength.
 		visit := append([]graph.VID(nil), alive...)
-		sort.Slice(visit, func(i, j int) bool {
-			si, sj := strength[visit[i]], strength[visit[j]]
-			if si != sj {
-				return si < sj
+		slices.SortFunc(visit, func(a, b graph.VID) int {
+			if c := cmp.Compare(strength[a], strength[b]); c != 0 {
+				return c
 			}
-			return visit[i] < visit[j]
+			return cmp.Compare(a, b)
 		})
 		merged := make(map[graph.VID]graph.VID, len(visit)/2)
 		resolve := func(c graph.VID) graph.VID {
@@ -162,10 +162,10 @@ func (r RabbitOrder) Permutation(g *graph.Graph) []graph.VID {
 			for u, w := range m {
 				lst = append(lst, aggEdge{to: u, w: w})
 			}
-			sort.Slice(lst, func(i, j int) bool { return lst[i].to < lst[j].to })
+			slices.SortFunc(lst, func(a, b aggEdge) int { return cmp.Compare(a.to, b.to) })
 			adj[c] = lst
 		}
-		sort.Slice(survivors, func(i, j int) bool { return survivors[i] < survivors[j] })
+		slices.Sort(survivors)
 		alive = survivors
 	}
 

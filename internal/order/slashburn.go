@@ -1,7 +1,8 @@
 package order
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"ihtl/internal/graph"
 )
@@ -76,11 +77,11 @@ func (s SlashBurn) Permutation(g *graph.Graph) []graph.VID {
 			// Remainder smaller than a slash: order by degree desc
 			// at the front and stop.
 			recomputeDeg()
-			sort.Slice(active, func(i, j int) bool {
-				if deg[active[i]] != deg[active[j]] {
-					return deg[active[i]] > deg[active[j]]
+			slices.SortFunc(active, func(a, b graph.VID) int {
+				if c := cmp.Compare(deg[b], deg[a]); c != 0 {
+					return c
 				}
-				return active[i] < active[j]
+				return cmp.Compare(a, b)
 			})
 			for _, v := range active {
 				perm[v] = graph.VID(front)
@@ -92,11 +93,11 @@ func (s SlashBurn) Permutation(g *graph.Graph) []graph.VID {
 		}
 		// Slash: remove the k highest-degree vertices.
 		recomputeDeg()
-		sort.Slice(active, func(i, j int) bool {
-			if deg[active[i]] != deg[active[j]] {
-				return deg[active[i]] > deg[active[j]]
+		slices.SortFunc(active, func(a, b graph.VID) int {
+			if c := cmp.Compare(deg[b], deg[a]); c != 0 {
+				return c
 			}
-			return active[i] < active[j]
+			return cmp.Compare(a, b)
 		})
 		for i := 0; i < k; i++ {
 			v := active[i]
@@ -142,16 +143,16 @@ func (s SlashBurn) Permutation(g *graph.Graph) []graph.VID {
 				spokes = append(spokes, comp{root: r, members: members})
 			}
 		}
-		sort.Slice(spokes, func(i, j int) bool {
-			if len(spokes[i].members) != len(spokes[j].members) {
-				return len(spokes[i].members) > len(spokes[j].members)
+		slices.SortFunc(spokes, func(a, b comp) int {
+			if c := cmp.Compare(len(b.members), len(a.members)); c != 0 {
+				return c
 			}
-			return spokes[i].root < spokes[j].root
+			return cmp.Compare(a.root, b.root)
 		})
 		// Assign from the back: later (smaller) components end up at
 		// the very end.
 		for _, c := range spokes {
-			sort.Slice(c.members, func(i, j int) bool { return c.members[i] < c.members[j] })
+			slices.Sort(c.members)
 			for i := len(c.members) - 1; i >= 0; i-- {
 				perm[c.members[i]] = graph.VID(back)
 				back--

@@ -1,8 +1,9 @@
 package order
 
 import (
+	"cmp"
 	"container/heap"
-	"sort"
+	"slices"
 
 	"ihtl/internal/graph"
 )
@@ -90,12 +91,11 @@ func (v VEBO) assign(g *graph.Graph) [][]graph.VID {
 	for i := range ids {
 		ids[i] = graph.VID(i)
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		di, dj := g.InDegree(ids[i]), g.InDegree(ids[j])
-		if di != dj {
-			return di > dj
+	slices.SortFunc(ids, func(a, b graph.VID) int {
+		if c := cmp.Compare(g.InDegree(b), g.InDegree(a)); c != 0 {
+			return c
 		}
-		return ids[i] < ids[j]
+		return cmp.Compare(a, b)
 	})
 
 	parts := make([]*veboPart, p)
