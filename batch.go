@@ -1,6 +1,7 @@
 package ihtl
 
 import (
+	"context"
 	"fmt"
 
 	"ihtl/internal/analytics"
@@ -20,11 +21,24 @@ type Batch struct {
 }
 
 // NewBatch allocates a zeroed batch of k vectors over n vertices.
+// It panics on an invalid shape (n < 0 or k < 1) — the convenient
+// form for literal, known-good dimensions. Code handling untrusted
+// dimensions should use NewBatchChecked.
 func NewBatch(n, k int) *Batch {
-	if n < 0 || k < 1 {
-		panic("ihtl: invalid batch shape")
+	b, err := NewBatchChecked(n, k)
+	if err != nil {
+		panic(err)
 	}
-	return &Batch{N: n, K: k, Data: make([]float64, n*k)}
+	return b
+}
+
+// NewBatchChecked is NewBatch with the shape validation returned as
+// an error instead of a panic.
+func NewBatchChecked(n, k int) (*Batch, error) {
+	if n < 0 || k < 1 {
+		return nil, fmt.Errorf("ihtl: invalid batch shape (%d, %d)", n, k)
+	}
+	return &Batch{N: n, K: k, Data: make([]float64, n*k)}, nil
 }
 
 // At returns lane j of vertex v.
@@ -76,6 +90,17 @@ func (e *Engine) StepBatch(src, dst *Batch) {
 		panic("ihtl: batch shape mismatch")
 	}
 	e.eng.StepBatch(src.Data, dst.Data, src.K)
+}
+
+// StepBatchCtx is StepBatch with the StepCtx failure contract:
+// ctx cancellation, worker panics and numeric-health violations
+// return errors instead of panicking, and a failed step leaves the
+// engine reset for the next clean one. ctx may be nil.
+func (e *Engine) StepBatchCtx(ctx context.Context, src, dst *Batch) error {
+	if src.K != dst.K || src.N != dst.N {
+		return fmt.Errorf("ihtl: batch shape mismatch (%d,%d) vs (%d,%d)", src.N, src.K, dst.N, dst.K)
+	}
+	return e.eng.StepBatchCtx(ctx, src.Data, dst.Data, src.K)
 }
 
 // NewBatchEngine builds an iHTL engine tuned for K-wide batched

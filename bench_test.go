@@ -255,7 +255,10 @@ func BenchmarkFig8(b *testing.B) {
 	})
 	b.Run("pull-after-rabbit", func(b *testing.B) {
 		perm := order.RabbitOrder{}.Permutation(benchSocial)
-		rg := graph.MustRelabel(benchSocial, perm)
+		rg, err := graph.Relabel(benchSocial, perm)
+		if err != nil {
+			b.Fatal(err)
+		}
 		e, err := spmv.NewEngine(rg, benchPool, spmv.Pull, spmv.Options{})
 		if err != nil {
 			b.Fatal(err)

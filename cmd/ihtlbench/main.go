@@ -30,6 +30,8 @@ func main() {
 		stepjson  = flag.String("stepjson", "", "measure per-kernel step times and write them as JSON to this path (e.g. results/BENCH_step.json), then exit")
 		batch     = flag.Bool("batch", false, "with -stepjson: also sweep the batched (multi-vector) kernels at K = 1,4,8,16 over the batch registry (rmat18 + sk-s)")
 		buildjson = flag.String("buildjson", "", "measure sequential and parallel preprocessing times (graph build, rank, select, relabel, blocks) and write them as JSON to this path (e.g. results/BENCH_build.json), then exit")
+		faults    = flag.String("faults", "", "run the fault-recovery smoke (PageRank with seeded cancel/NaN/panic faults vs clean) and write the timings as JSON to this path (e.g. results/BENCH_faults.json), then exit")
+		faultseed = flag.Uint64("faultseed", 1, "with -faults: seed deriving the fault iterations")
 	)
 	flag.Parse()
 
@@ -63,6 +65,18 @@ func main() {
 	env.Iters = *iters
 	env.Out = os.Stdout
 	env.CSV = *csv
+
+	if *faults != "" {
+		rep, err := bench.RunFaultsJSON(env, bench.FaultDataset(*small), *faultseed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteStepJSON(*faults, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d measurements to %s\n", len(rep.Results), *faults)
+		return
+	}
 
 	if *buildjson != "" {
 		rep, err := bench.RunBuildJSON(env, selected)

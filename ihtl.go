@@ -24,7 +24,9 @@
 package ihtl
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"ihtl/internal/analytics"
 	"ihtl/internal/core"
@@ -69,6 +71,51 @@ type Stepper = spmv.Stepper
 // PageRankOptions configures PageRank.
 type PageRankOptions = analytics.PageRankOptions
 
+// EngineOptions tunes the iHTL engine beyond Params: pipeline
+// ablations and the opt-in numeric-health watchdog.
+type EngineOptions = core.EngineOptions
+
+// HealthPolicy configures the opt-in numeric watchdog: the SpMV
+// result vector is scanned for NaN/±Inf after each (Every-th) Step,
+// fused into the engine's epilogue sweep.
+type HealthPolicy = spmv.HealthPolicy
+
+// HealthMode selects what the watchdog does on a non-finite value.
+type HealthMode = spmv.HealthMode
+
+// Watchdog modes: off, surface a *NumericError, clamp the offending
+// values to zero and continue, or report an error asking the driver
+// to roll back to its last checkpoint.
+const (
+	HealthOff      = spmv.HealthOff
+	HealthError    = spmv.HealthError
+	HealthClamp    = spmv.HealthClamp
+	HealthRollback = spmv.HealthRollback
+)
+
+// NumericError reports non-finite values found by the watchdog.
+type NumericError = spmv.NumericError
+
+// PanicError wraps a panic captured in a pool worker: the panic
+// value, the worker index, and the stack at capture time. Engines'
+// Ctx entrypoints return it instead of crashing the process.
+type PanicError = sched.PanicError
+
+// ErrPoolClosed is returned by Ctx entrypoints dispatched on a
+// closed Pool.
+var ErrPoolClosed = sched.ErrPoolClosed
+
+// Checkpoint is a resumable snapshot of an iterative driver; see
+// PageRankOptions.CheckpointEvery/Resume and Encode/DecodeCheckpoint.
+type Checkpoint = analytics.Checkpoint
+
+// EncodeCheckpoint writes a checkpoint in the versioned binary
+// format; DecodeCheckpoint reads it back.
+func EncodeCheckpoint(w io.Writer, c *Checkpoint) error { return analytics.EncodeCheckpoint(w, c) }
+
+// DecodeCheckpoint reads a checkpoint written by EncodeCheckpoint.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) { return analytics.DecodeCheckpoint(r) }
+
 // NewPool creates a worker pool; workers <= 0 selects GOMAXPROCS.
 // Close it when done.
 func NewPool(workers int) *Pool { return sched.NewPool(workers) }
@@ -86,9 +133,17 @@ func BuildGraph(numV int, edges []Edge) (*Graph, error) {
 // all run across the pool's workers and produce a graph bit-for-bit
 // identical to the sequential build. A nil pool builds sequentially.
 func BuildGraphOn(pool *Pool, numV int, edges []Edge) (*Graph, error) {
+	return BuildGraphCtx(nil, pool, numV, edges)
+}
+
+// BuildGraphCtx is BuildGraphOn under a context: cancelling ctx stops
+// the multi-pass build between phases (and mid-pass at the next chunk
+// claim on a pool) and returns ctx.Err(); a panic in a pool worker
+// comes back as a *PanicError. ctx may be nil.
+func BuildGraphCtx(ctx context.Context, pool *Pool, numV int, edges []Edge) (*Graph, error) {
 	opt := graph.DefaultBuildOptions()
 	opt.Pool = pool
-	return graph.Build(numV, edges, opt)
+	return graph.BuildCtx(ctx, numV, edges, opt)
 }
 
 // LoadGraph reads a graph from the binary format written by
@@ -141,11 +196,20 @@ type Engine struct {
 // the engine later steps on; the per-phase times are available via
 // IHTL().BuildStats().
 func NewEngine(g *Graph, pool *Pool, p Params) (*Engine, error) {
-	ih, err := core.BuildWith(g, p, pool)
+	return NewEngineOpts(nil, g, pool, p, EngineOptions{})
+}
+
+// NewEngineOpts is NewEngine with explicit engine options (pipeline
+// ablations, the numeric-health watchdog) and a context governing the
+// preprocessing build: cancelling ctx aborts hub ranking, relabeling
+// and block construction between phases (mid-pass at the next chunk
+// claim) and returns ctx.Err(). ctx may be nil.
+func NewEngineOpts(ctx context.Context, g *Graph, pool *Pool, p Params, opt EngineOptions) (*Engine, error) {
+	ih, err := core.BuildWithCtx(ctx, g, p, pool)
 	if err != nil {
 		return nil, err
 	}
-	eng, err := core.NewEngine(ih, pool)
+	eng, err := core.NewEngineOpts(ih, pool, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -154,6 +218,16 @@ func NewEngine(g *Graph, pool *Pool, p Params) (*Engine, error) {
 
 // Step implements Stepper (in iHTL ID space).
 func (e *Engine) Step(src, dst []float64) { e.eng.Step(src, dst) }
+
+// StepCtx is Step under a context: cancelling ctx stops the fused
+// dispatch at the next chunk claim and returns ctx.Err(); a panic in
+// a pool worker returns a *PanicError and a numeric-health violation
+// a *NumericError, instead of panicking. After a failed StepCtx the
+// engine's internal state is reset, so the next clean Step produces
+// bit-for-bit the same result it would have without the failure.
+func (e *Engine) StepCtx(ctx context.Context, src, dst []float64) error {
+	return e.eng.StepCtx(ctx, src, dst)
+}
 
 // NumVertices implements Stepper.
 func (e *Engine) NumVertices() int { return e.eng.NumVertices() }
@@ -185,12 +259,24 @@ func NewBaselineEngine(g *Graph, pool *Pool, dir Direction) (Stepper, error) {
 // PageRank runs PageRank over the iHTL engine and returns ranks in
 // ORIGINAL vertex-ID space (the relabeling is applied internally).
 func PageRank(e *Engine, pool *Pool, opt PageRankOptions) ([]float64, error) {
+	return PageRankCtx(nil, e, pool, opt)
+}
+
+// PageRankCtx is PageRank under a context: cancelling ctx stops the
+// run mid-Step at the next chunk claim and returns ctx.Err(), and
+// engine failures (worker panics, numeric-health violations) surface
+// as errors instead of panics. Checkpoints taken through
+// opt.CheckpointEvery/OnCheckpoint — and consumed through opt.Resume
+// — are in iHTL (relabeled) ID space and belong to this engine's
+// graph; resuming restores the exact trajectory bit-for-bit. ctx may
+// be nil.
+func PageRankCtx(ctx context.Context, e *Engine, pool *Pool, opt PageRankOptions) ([]float64, error) {
 	n := e.NumVertices()
 	deg := make([]int, n)
 	for nv := 0; nv < n; nv++ {
 		deg[nv] = e.g.OutDegree(e.ih.OldID[nv])
 	}
-	res, err := analytics.RunPageRank(e.eng, deg, pool, opt)
+	res, err := analytics.RunPageRankCtx(ctx, e.eng, deg, pool, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -181,7 +181,7 @@ func TestHITSOnBipartiteHubAuthority(t *testing.T) {
 	for v := 0; v <= 9; v++ {
 		edges = append(edges, graph.Edge{Src: 10, Dst: graph.VID(v)})
 	}
-	g := graph.FromEdges(11, edges)
+	g := graph.MustFromEdges(11, edges)
 	fwd, _ := spmv.NewEngine(g, testPool, spmv.Pull, spmv.Options{})
 	rev, _ := spmv.NewEngine(g.Transpose(), testPool, spmv.Pull, spmv.Options{})
 	res, err := RunHITS(fwd, rev, HITSOptions{})
@@ -258,7 +258,7 @@ func TestConnectedComponents(t *testing.T) {
 		}
 		edges = append(edges, graph.Edge{Src: graph.VID(i), Dst: graph.VID(next)})
 	}
-	g := graph.FromEdges(25, edges)
+	g := graph.MustFromEdges(25, edges)
 	cc := ConnectedComponents(g, testPool)
 	for v := 0; v < 10; v++ {
 		if cc[v] != 0 {
@@ -371,7 +371,7 @@ func referenceTriangles(g *graph.Graph) int64 {
 
 func TestTriangleCountKnownGraphs(t *testing.T) {
 	// Directed triangle: exactly one undirected triangle.
-	tri := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}})
+	tri := graph.MustFromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}})
 	if got := TriangleCount(tri, testPool); got != 1 {
 		t.Fatalf("triangle: got %d, want 1", got)
 	}
@@ -387,7 +387,7 @@ func TestTriangleCountKnownGraphs(t *testing.T) {
 		t.Fatalf("path: got %d, want 0", got)
 	}
 	// Reciprocal pair is not a triangle.
-	pair := graph.FromEdges(2, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}})
+	pair := graph.MustFromEdges(2, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}})
 	if got := TriangleCount(pair, testPool); got != 0 {
 		t.Fatalf("pair: got %d, want 0", got)
 	}

@@ -1,0 +1,184 @@
+package analytics
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Checkpoint is a resumable snapshot of an iterative driver
+// (RunPageRankCtx, RunPersonalizedPageRankCtx). It captures exactly
+// the state the driver cannot recompute deterministically from its
+// inputs: the iteration count, the rank vector, and the per-lane
+// dangling mass (whose parallel summation order makes it part of the
+// bit-for-bit state). Contributions are recomputed on restore as
+// ranks[v]·invDeg[v] — an element-wise product with a single
+// rounding per element — so a resumed run produces bit-for-bit the
+// same trajectory as an uninterrupted one.
+type Checkpoint struct {
+	// Algo names the producing driver ("pagerank" or "ppr"); resume
+	// rejects a mismatched snapshot.
+	Algo string
+	// Iter is the number of completed iterations at snapshot time.
+	Iter int
+	// N is the vertex count, K the lane count (1 for scalar PageRank).
+	N, K int
+	// Ranks is the rank vector, vertex-major interleaved (len N·K).
+	Ranks []float64
+	// Aux is driver-specific scalar state: the per-lane dangling mass
+	// (len K) for both PageRank and PPR.
+	Aux []float64
+}
+
+// Clone returns a deep copy. Drivers hand their internal snapshot to
+// OnCheckpoint callbacks; callers that retain it past the callback
+// must Clone it first.
+func (c *Checkpoint) Clone() *Checkpoint {
+	if c == nil {
+		return nil
+	}
+	d := *c
+	d.Ranks = append([]float64(nil), c.Ranks...)
+	d.Aux = append([]float64(nil), c.Aux...)
+	return &d
+}
+
+// validate checks the internal length invariants.
+func (c *Checkpoint) validate() error {
+	if c.N < 0 || c.K <= 0 || c.Iter < 0 {
+		return fmt.Errorf("analytics: checkpoint dims iter=%d n=%d k=%d invalid", c.Iter, c.N, c.K)
+	}
+	if len(c.Ranks) != c.N*c.K {
+		return fmt.Errorf("analytics: checkpoint ranks length %d != N*K = %d", len(c.Ranks), c.N*c.K)
+	}
+	if len(c.Aux) != c.K {
+		return fmt.Errorf("analytics: checkpoint aux length %d != K = %d", len(c.Aux), c.K)
+	}
+	return nil
+}
+
+// Binary codec: a fixed magic, a format version, then the fields in
+// little-endian order. The format is versioned so layout changes can
+// be detected instead of silently misread.
+const (
+	ckptMagic   = "IHTLCKPT"
+	ckptVersion = uint32(1)
+	// ckptMaxAlgo bounds the algo-name length a decoder will accept,
+	// guarding the allocation against corrupt headers.
+	ckptMaxAlgo = 1 << 10
+)
+
+// EncodeCheckpoint writes c to w in the versioned binary format.
+func EncodeCheckpoint(w io.Writer, c *Checkpoint) error {
+	if c == nil {
+		return fmt.Errorf("analytics: nil checkpoint")
+	}
+	if err := c.validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(ckptMagic); err != nil {
+		return err
+	}
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.LittleEndian.PutUint32(u32[:], ckptVersion)
+	if _, err := bw.Write(u32[:]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(c.Algo)))
+	if _, err := bw.Write(u32[:]); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(c.Algo); err != nil {
+		return err
+	}
+	for _, v := range []int{c.Iter, c.N, c.K} {
+		binary.LittleEndian.PutUint64(u64[:], uint64(v))
+		if _, err := bw.Write(u64[:]); err != nil {
+			return err
+		}
+	}
+	for _, vec := range [][]float64{c.Ranks, c.Aux} {
+		binary.LittleEndian.PutUint64(u64[:], uint64(len(vec)))
+		if _, err := bw.Write(u64[:]); err != nil {
+			return err
+		}
+		for _, x := range vec {
+			binary.LittleEndian.PutUint64(u64[:], math.Float64bits(x))
+			if _, err := bw.Write(u64[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeCheckpoint reads a checkpoint in the EncodeCheckpoint format,
+// verifying the magic, version, and length invariants.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	var magic [len(ckptMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("analytics: checkpoint magic: %w", err)
+	}
+	if string(magic[:]) != ckptMagic {
+		return nil, fmt.Errorf("analytics: bad checkpoint magic %q", magic[:])
+	}
+	var u32 [4]byte
+	var u64 [8]byte
+	if _, err := io.ReadFull(br, u32[:]); err != nil {
+		return nil, err
+	}
+	if v := binary.LittleEndian.Uint32(u32[:]); v != ckptVersion {
+		return nil, fmt.Errorf("analytics: checkpoint version %d, want %d", v, ckptVersion)
+	}
+	if _, err := io.ReadFull(br, u32[:]); err != nil {
+		return nil, err
+	}
+	algoLen := binary.LittleEndian.Uint32(u32[:])
+	if algoLen > ckptMaxAlgo {
+		return nil, fmt.Errorf("analytics: checkpoint algo length %d too large", algoLen)
+	}
+	algo := make([]byte, algoLen)
+	if _, err := io.ReadFull(br, algo); err != nil {
+		return nil, err
+	}
+	c := &Checkpoint{Algo: string(algo)}
+	for _, dst := range []*int{&c.Iter, &c.N, &c.K} {
+		if _, err := io.ReadFull(br, u64[:]); err != nil {
+			return nil, err
+		}
+		*dst = int(int64(binary.LittleEndian.Uint64(u64[:])))
+	}
+	if c.N < 0 || c.K <= 0 || c.K > 1<<20 || c.N > 1<<40 {
+		return nil, fmt.Errorf("analytics: checkpoint dims n=%d k=%d out of range", c.N, c.K)
+	}
+	for _, vec := range []*[]float64{&c.Ranks, &c.Aux} {
+		if _, err := io.ReadFull(br, u64[:]); err != nil {
+			return nil, err
+		}
+		ln := int64(binary.LittleEndian.Uint64(u64[:]))
+		want := int64(c.N) * int64(c.K)
+		if vec == &c.Aux {
+			want = int64(c.K)
+		}
+		if ln != want {
+			return nil, fmt.Errorf("analytics: checkpoint vector length %d, want %d", ln, want)
+		}
+		v := make([]float64, ln)
+		for i := range v {
+			if _, err := io.ReadFull(br, u64[:]); err != nil {
+				return nil, err
+			}
+			v[i] = math.Float64frombits(binary.LittleEndian.Uint64(u64[:]))
+		}
+		*vec = v
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

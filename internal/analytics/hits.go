@@ -1,6 +1,7 @@
 package analytics
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -35,6 +36,17 @@ type HITSResult struct {
 // computes h(v) = Σ_{v→u} a(u), i.e. a Stepper built on the
 // transposed graph.
 func RunHITS(fwd, rev spmv.Stepper, opt HITSOptions) (HITSResult, error) {
+	return RunHITSCtx(nil, fwd, rev, opt)
+}
+
+// RunHITSCtx is RunHITS under a context. Unlike PageRank's single
+// fused dispatch, a HITS iteration is a sequence of phases — two
+// Steps, two normalisations, two delta sweeps — so each phase is its
+// own cancellable dispatch: ctx-aware engines (spmv.CtxStepper) stop
+// mid-Step at the next chunk claim, other engines between phases, and
+// worker panics surface as *sched.PanicError instead of crashing the
+// process. ctx may be nil.
+func RunHITSCtx(ctx context.Context, fwd, rev spmv.Stepper, opt HITSOptions) (HITSResult, error) {
 	n := fwd.NumVertices()
 	if rev.NumVertices() != n {
 		return HITSResult{}, fmt.Errorf("analytics: engine vertex counts differ: %d vs %d", n, rev.NumVertices())
@@ -59,11 +71,27 @@ func RunHITS(fwd, rev spmv.Stepper, opt HITSOptions) (HITSResult, error) {
 	}
 	nrm := newNormalizer(opt.Pool)
 	for iter := 0; iter < opt.MaxIters; iter++ {
-		fwd.Step(hub, newAuth) // a = Aᵀ h
-		nrm.normalize(newAuth)
-		rev.Step(newAuth, newHub) // h = A a
-		nrm.normalize(newHub)
-		delta := nrm.deltaAndCopy(auth, newAuth) + nrm.deltaAndCopy(hub, newHub)
+		if err := stepCtx(ctx, fwd, hub, newAuth); err != nil { // a = Aᵀ h
+			return res, err
+		}
+		if err := nrm.normalize(ctx, newAuth); err != nil {
+			return res, err
+		}
+		if err := stepCtx(ctx, rev, newAuth, newHub); err != nil { // h = A a
+			return res, err
+		}
+		if err := nrm.normalize(ctx, newHub); err != nil {
+			return res, err
+		}
+		dA, err := nrm.deltaAndCopy(ctx, auth, newAuth)
+		if err != nil {
+			return res, err
+		}
+		dH, err := nrm.deltaAndCopy(ctx, hub, newHub)
+		if err != nil {
+			return res, err
+		}
+		delta := dA + dH
 		res.Iters = iter + 1
 		if delta < opt.Tol {
 			break
@@ -72,13 +100,31 @@ func RunHITS(fwd, rev spmv.Stepper, opt HITSOptions) (HITSResult, error) {
 	return res, nil
 }
 
+// stepCtx runs one SpMV step under ctx, preferring the engine's
+// cancellable StepCtx when implemented and falling back to a
+// between-phase ctx check around the plain Step.
+func stepCtx(ctx context.Context, e spmv.Stepper, src, dst []float64) error {
+	if ce, ok := e.(spmv.CtxStepper); ok {
+		return ce.StepCtx(ctx, src, dst)
+	}
+	if err := ctxErrOf(ctx); err != nil {
+		return err
+	}
+	e.Step(src, dst)
+	return nil
+}
+
 // normalizer scales vectors to unit L2 norm, on a pool when one is
 // available. The parallel path is ONE dispatch: each worker computes
 // the square-sum of its static range, crosses a spin barrier, and
 // scales the same range by the combined norm — no second dispatch for
-// the scaling pass. Both worker bodies are prebuilt at construction
-// and the operand vectors staged through fields, so the per-iteration
-// normalize/deltaAndCopy calls are allocation-free (//ihtl:noalloc).
+// the scaling pass. The barrier crossing is abort-aware (WaitAbort),
+// so a cancelled dispatch or a panicking sibling releases spinning
+// workers instead of deadlocking them; a failed dispatch resets the
+// barrier before the error is surfaced, leaving the normalizer
+// reusable. Both worker bodies are prebuilt at construction and the
+// operand vectors staged through fields, so the per-iteration calls
+// stay allocation-free in the workers (//ihtl:noalloc).
 type normalizer struct {
 	pool    *sched.Pool
 	barrier *sched.Barrier
@@ -102,15 +148,23 @@ func newNormalizer(pool *sched.Pool) *normalizer {
 	return nrm
 }
 
-//ihtl:noalloc
-func (nrm *normalizer) normalize(v []float64) {
+func (nrm *normalizer) normalize(ctx context.Context, v []float64) error {
 	if nrm.pool == nil || len(v) < len(nrm.partial) {
+		if err := ctxErrOf(ctx); err != nil {
+			return err
+		}
 		normalizeSeq(v)
-		return
+		return nil
 	}
 	nrm.curV = v
-	nrm.pool.Run(nrm.normJob)
+	err := nrm.pool.RunCtx(ctx, nrm.normJob)
 	nrm.curV = nil
+	if err != nil {
+		// A worker may have stopped short of the barrier; clear any
+		// partial arrivals so the next dispatch starts clean.
+		nrm.barrier.Reset()
+	}
+	return err
 }
 
 // normWorker is one worker's share of a normalize dispatch: square-sum
@@ -125,7 +179,9 @@ func (nrm *normalizer) normWorker(w int) {
 		sum += v[i] * v[i]
 	}
 	nrm.partial[w] = sum
-	nrm.barrier.Wait()
+	if !nrm.barrier.WaitAbort(nrm.pool) {
+		return
+	}
 	norm := 0.0
 	for _, p := range nrm.partial {
 		norm += p
@@ -157,25 +213,29 @@ func normalizeSeq(v []float64) {
 }
 
 // deltaAndCopy returns Σ|a[i]-b[i]| and copies b into a, in one sweep.
-//
-//ihtl:noalloc
-func (nrm *normalizer) deltaAndCopy(a, b []float64) float64 {
+func (nrm *normalizer) deltaAndCopy(ctx context.Context, a, b []float64) (float64, error) {
 	if nrm.pool == nil || len(a) < len(nrm.partial) {
+		if err := ctxErrOf(ctx); err != nil {
+			return 0, err
+		}
 		d := 0.0
 		for i := range a {
 			d += math.Abs(a[i] - b[i])
 			a[i] = b[i]
 		}
-		return d
+		return d, nil
 	}
 	nrm.curA, nrm.curB = a, b
-	nrm.pool.ForStatic(len(a), nrm.deltaJob)
+	err := nrm.pool.ForStaticCtx(ctx, len(a), nrm.deltaJob)
 	nrm.curA, nrm.curB = nil, nil
+	if err != nil {
+		return 0, err
+	}
 	delta := 0.0
 	for _, d := range nrm.partial {
 		delta += d
 	}
-	return delta
+	return delta, nil
 }
 
 // deltaWorker is one worker's share of a deltaAndCopy dispatch.

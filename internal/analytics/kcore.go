@@ -1,6 +1,8 @@
 package analytics
 
 import (
+	"context"
+
 	"ihtl/internal/graph"
 )
 
@@ -17,9 +19,17 @@ import (
 // directions) are counted once per direction, consistent with
 // Graph.Degree.
 func CoreNumbers(g *graph.Graph) []int {
+	core, _ := CoreNumbersCtx(nil, g)
+	return core
+}
+
+// CoreNumbersCtx is CoreNumbers under a context: the sequential peel
+// loop polls ctx every few thousand removals and returns ctx.Err()
+// when cancelled. ctx may be nil.
+func CoreNumbersCtx(ctx context.Context, g *graph.Graph) ([]int, error) {
 	n := g.NumV
 	if n == 0 {
-		return nil
+		return nil, ctxErrOf(ctx)
 	}
 	deg := make([]int, n)
 	maxDeg := 0
@@ -55,6 +65,11 @@ func CoreNumbers(g *graph.Graph) []int {
 	core := make([]int, n)
 	copy(core, deg)
 	for i := 0; i < n; i++ {
+		if ctx != nil && i&8191 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		v := vert[i]
 		decrease := func(u int) {
 			if core[u] <= core[v] {
@@ -78,7 +93,7 @@ func CoreNumbers(g *graph.Graph) []int {
 			decrease(int(u))
 		}
 	}
-	return core
+	return core, nil
 }
 
 // MaxCore returns the maximum core number (the graph's degeneracy

@@ -156,7 +156,7 @@ func TestMinLabelComponentsViaIHTL(t *testing.T) {
 			}
 		}
 	}
-	g := graph.FromEdges(12, edges)
+	g := graph.MustFromEdges(12, edges)
 	ih, err := core.Build(g, core.Params{HubsPerBlock: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -197,7 +197,7 @@ func TestMinLabelComponentsMatchesLabelProp(t *testing.T) {
 func TestReachableViaGenericEngines(t *testing.T) {
 	// Path 0->1->2->3 plus isolated pair 4->5: from 0, reach {0..3};
 	// from 4, reach {4,5}.
-	g := graph.FromEdges(6, []graph.Edge{
+	g := graph.MustFromEdges(6, []graph.Edge{
 		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 4, Dst: 5},
 	})
 	for name, e := range genericEngines(t, g, spmv.BoolOr()) {
@@ -214,7 +214,7 @@ func TestReachableViaGenericEngines(t *testing.T) {
 }
 
 func TestSymmetrize(t *testing.T) {
-	g := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	g := graph.MustFromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
 	sg := Symmetrize(g)
 	if sg.NumE != 4 {
 		t.Fatalf("symmetrized edges = %d, want 4", sg.NumE)
@@ -295,7 +295,7 @@ func TestWeightedDistancesAcrossGenericEngines(t *testing.T) {
 func TestMinPlusUnreachedDoesNotPoison(t *testing.T) {
 	// Path 0->1->2; vertex 3 isolated. The unreached identity must
 	// not leak finite values through Edge.
-	g := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 3, Dst: 3}})
+	g := graph.MustFromEdges(4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 3, Dst: 3}})
 	m := spmv.MinPlusInt64(func(src, dst graph.VID) int64 { return 5 })
 	e, err := spmv.NewGenericEngine(g, testPool, m, false)
 	if err != nil {

@@ -11,6 +11,8 @@
 package analytics
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -32,6 +34,21 @@ type PageRankOptions struct {
 	// vertices uniformly each iteration. The paper's formula (§4.1)
 	// omits this, so it defaults to off.
 	RedistributeDangling bool
+
+	// CheckpointEvery > 0 snapshots the driver state every that many
+	// completed iterations (plus once before the first iteration, so
+	// rollback always has a target). Snapshots feed OnCheckpoint and
+	// the numeric-health rollback below; 0 disables both.
+	CheckpointEvery int
+	// OnCheckpoint observes each snapshot. The *Checkpoint is owned
+	// by the driver and its buffers are reused by later snapshots:
+	// encode it synchronously or Clone it before returning.
+	OnCheckpoint func(*Checkpoint)
+	// Resume restarts the run from a snapshot previously produced by
+	// this driver (Algo "pagerank"): ranks and dangling mass are
+	// restored and iteration continues at Resume.Iter, producing
+	// bit-for-bit the trajectory of an uninterrupted run.
+	Resume *Checkpoint
 }
 
 func (o PageRankOptions) withDefaults() PageRankOptions {
@@ -47,14 +64,25 @@ func (o PageRankOptions) withDefaults() PageRankOptions {
 	return o
 }
 
+// maxRollbackRetries bounds how many times a run may roll back to the
+// SAME checkpoint before the numeric error is surfaced: transient
+// corruption (the fault-injection harness, a flipped bit) heals on
+// retry, while a deterministic divergence would otherwise loop
+// forever.
+const maxRollbackRetries = 2
+
 // PageRankResult carries the final ranks and convergence metadata.
 type PageRankResult struct {
 	// Ranks is indexed in the Stepper's vertex-ID space.
 	Ranks []float64
-	// Iters is the number of iterations executed.
+	// Iters is the absolute iteration index reached (resumed runs
+	// count the iterations of the original run).
 	Iters int
 	// Delta is the final L1 change.
 	Delta float64
+	// Rollbacks counts checkpoint restores triggered by numeric-
+	// health errors (spmv.HealthRollback engines only).
+	Rollbacks int
 }
 
 // RunPageRank iterates PRᵢ(v) = (1-d)/n + d·Σ_{u∈N⁻(v)} PRᵢ₋₁(u)/deg⁺(u)
@@ -62,6 +90,19 @@ type PageRankResult struct {
 // vertex in the engine's ID space. pool parallelises the O(n)
 // element-wise phases; it may be nil for sequential execution.
 func RunPageRank(e spmv.Stepper, outDeg []int, pool *sched.Pool, opt PageRankOptions) (PageRankResult, error) {
+	return RunPageRankCtx(nil, e, outDeg, pool, opt)
+}
+
+// RunPageRankCtx is RunPageRank under a context: cancelling ctx stops
+// the run at the next iteration boundary (and, on ctx-aware engines,
+// mid-Step at the next chunk claim) and returns ctx.Err(). On engines
+// whose Step can fail — a worker panic surfacing as *sched.PanicError,
+// or a numeric-health violation as *spmv.NumericError — the error is
+// returned instead of panicking. Under spmv.HealthRollback with
+// CheckpointEvery set, a numeric error restores the latest checkpoint
+// and retries (at most maxRollbackRetries times per checkpoint) before
+// surfacing. ctx may be nil.
+func RunPageRankCtx(ctx context.Context, e spmv.Stepper, outDeg []int, pool *sched.Pool, opt PageRankOptions) (PageRankResult, error) {
 	n := e.NumVertices()
 	if len(outDeg) != n {
 		return PageRankResult{}, fmt.Errorf("analytics: outDeg length %d != %d vertices", len(outDeg), n)
@@ -69,6 +110,15 @@ func RunPageRank(e spmv.Stepper, outDeg []int, pool *sched.Pool, opt PageRankOpt
 	o := opt.withDefaults()
 	if n == 0 {
 		return PageRankResult{Ranks: []float64{}}, nil
+	}
+	if o.Resume != nil {
+		if err := o.Resume.validate(); err != nil {
+			return PageRankResult{}, err
+		}
+		if o.Resume.Algo != "pagerank" || o.Resume.N != n || o.Resume.K != 1 {
+			return PageRankResult{}, fmt.Errorf("analytics: resume checkpoint %q n=%d k=%d does not match pagerank n=%d",
+				o.Resume.Algo, o.Resume.N, o.Resume.K, n)
+		}
 	}
 
 	invDeg := make([]float64, n)
@@ -83,14 +133,28 @@ func RunPageRank(e spmv.Stepper, outDeg []int, pool *sched.Pool, opt PageRankOpt
 	base := (1 - o.Damping) / float64(n)
 
 	// Preamble sweep: initial ranks, the contributions they push in
-	// iteration 0, and the initial dangling mass.
+	// iteration 0, and the initial dangling mass — or the restored
+	// equivalents when resuming. Contributions are recomputed as
+	// ranks[v]·invDeg[v], the same single-rounding product the
+	// epilogue performs, so a resumed trajectory is bit-for-bit that
+	// of the uninterrupted run.
 	var dangling float64
-	init := 1 / float64(n)
-	for v := 0; v < n; v++ {
-		ranks[v] = init
-		contrib[v] = init * invDeg[v]
-		if o.RedistributeDangling && outDeg[v] == 0 {
-			dangling += init
+	iter := 0
+	if o.Resume != nil {
+		copy(ranks, o.Resume.Ranks)
+		dangling = o.Resume.Aux[0]
+		for v := 0; v < n; v++ {
+			contrib[v] = ranks[v] * invDeg[v]
+		}
+		iter = o.Resume.Iter
+	} else {
+		init := 1 / float64(n)
+		for v := 0; v < n; v++ {
+			ranks[v] = init
+			contrib[v] = init * invDeg[v]
+			if o.RedistributeDangling && outDeg[v] == 0 {
+				dangling += init
+			}
 		}
 	}
 
@@ -119,7 +183,9 @@ func RunPageRank(e spmv.Stepper, outDeg []int, pool *sched.Pool, opt PageRankOpt
 		return delta, dangl
 	}
 
+	cfe, ctxFused := e.(ctxFusedStepper)
 	fe, fused := e.(fusedStepper)
+	ce, ctxPlain := e.(spmv.CtxStepper)
 	workers := 0
 	switch {
 	case fused:
@@ -146,19 +212,81 @@ func RunPageRank(e spmv.Stepper, outDeg []int, pool *sched.Pool, opt PageRankOpt
 		}
 	}
 
+	// Checkpointing: snap is the driver-owned reusable snapshot, last
+	// the rollback target (snap, or the caller's Resume checkpoint
+	// until the first fresh snapshot lands).
+	var snap, last *Checkpoint
+	retries := 0
+	takeSnapshot := func(iterDone int) {
+		if snap == nil {
+			snap = &Checkpoint{Algo: "pagerank", N: n, K: 1,
+				Ranks: make([]float64, n), Aux: make([]float64, 1)}
+		}
+		snap.Iter = iterDone
+		copy(snap.Ranks, ranks)
+		snap.Aux[0] = dangling
+		last = snap
+		retries = 0
+		if o.OnCheckpoint != nil {
+			o.OnCheckpoint(snap)
+		}
+	}
+	restore := func(c *Checkpoint) {
+		copy(ranks, c.Ranks)
+		dangling = c.Aux[0]
+		for v := 0; v < n; v++ {
+			contrib[v] = ranks[v] * invDeg[v]
+		}
+		iter = c.Iter
+	}
+	if o.CheckpointEvery > 0 {
+		if o.Resume != nil {
+			last = o.Resume
+		} else {
+			takeSnapshot(0)
+		}
+	}
+
 	res := PageRankResult{Ranks: ranks}
-	for iter := 0; iter < o.MaxIters; iter++ {
+	for iter < o.MaxIters {
 		extra = o.Damping * dangling / float64(n)
 		var delta float64
+		var stepErr error
 		switch {
+		case ctxFused:
+			stepErr = cfe.StepEpiCtx(ctx, contrib, sums, epi)
 		case fused:
-			fe.StepEpi(contrib, sums, epi)
+			if stepErr = ctxErrOf(ctx); stepErr == nil {
+				fe.StepEpi(contrib, sums, epi)
+			}
+		case ctxPlain:
+			if stepErr = ce.StepCtx(ctx, contrib, sums); stepErr == nil {
+				if pool != nil {
+					stepErr = pool.RunCtx(ctx, poolEpi)
+				} else {
+					delta, dangling = body(0, n)
+				}
+			}
 		case pool != nil:
-			e.Step(contrib, sums)
-			pool.Run(poolEpi)
+			if stepErr = ctxErrOf(ctx); stepErr == nil {
+				e.Step(contrib, sums)
+				pool.Run(poolEpi)
+			}
 		default:
-			e.Step(contrib, sums)
-			delta, dangling = body(0, n)
+			if stepErr = ctxErrOf(ctx); stepErr == nil {
+				e.Step(contrib, sums)
+				delta, dangling = body(0, n)
+			}
+		}
+		if stepErr != nil {
+			var nerr *spmv.NumericError
+			if errors.As(stepErr, &nerr) && nerr.Rollback && last != nil && retries < maxRollbackRetries {
+				retries++
+				res.Rollbacks++
+				restore(last)
+				continue
+			}
+			return res, stepErr
 		}
 		if workers > 0 {
 			delta, dangling = 0, 0
@@ -167,13 +295,25 @@ func RunPageRank(e spmv.Stepper, outDeg []int, pool *sched.Pool, opt PageRankOpt
 				dangling += danglingParts[w]
 			}
 		}
-		res.Iters = iter + 1
+		iter++
+		res.Iters = iter
 		res.Delta = delta
+		if o.CheckpointEvery > 0 && iter%o.CheckpointEvery == 0 {
+			takeSnapshot(iter)
+		}
 		if o.Tol >= 0 && delta < o.Tol {
 			break
 		}
 	}
 	return res, nil
+}
+
+// ctxErrOf is the nil-tolerant ctx.Err().
+func ctxErrOf(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // fusedStepper is the optional Stepper extension core.Engine provides:
@@ -183,6 +323,15 @@ type fusedStepper interface {
 	spmv.Stepper
 	StepEpi(src, dst []float64, epi func(w, lo, hi int))
 	Workers() int
+}
+
+// ctxFusedStepper extends fusedStepper with the cancellable,
+// error-returning variant (core.Engine's StepEpiCtx): worker panics
+// and numeric-health violations come back as errors instead of
+// panicking, and ctx cancellation stops the dispatch mid-Step.
+type ctxFusedStepper interface {
+	fusedStepper
+	StepEpiCtx(ctx context.Context, src, dst []float64, epi func(w, lo, hi int)) error
 }
 
 // SumRanks returns the total rank mass (≈1 when dangling mass is

@@ -1,6 +1,8 @@
 package analytics
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -16,11 +18,14 @@ type PPRResult struct {
 	Ranks []float64
 	// K is the batch width (the number of sources).
 	K int
-	// Iters is the number of iterations executed; every iteration
+	// Iters is the absolute iteration index reached; every iteration
 	// advances all K lanes in a single batched Step.
 	Iters int
 	// Deltas is the final per-lane L1 change.
 	Deltas []float64
+	// Rollbacks counts checkpoint restores triggered by numeric-
+	// health errors (spmv.HealthRollback engines only).
+	Rollbacks int
 }
 
 // Lane copies lane j of the interleaved ranks into a dense vector.
@@ -43,6 +48,13 @@ type batchFusedStepper interface {
 	Workers() int
 }
 
+// batchCtxFusedStepper extends batchFusedStepper with the cancellable,
+// error-returning variant (core.Engine's StepBatchEpiCtx).
+type batchCtxFusedStepper interface {
+	batchFusedStepper
+	StepBatchEpiCtx(ctx context.Context, src, dst []float64, k int, epi func(w, lo, hi int)) error
+}
+
 // RunPersonalizedPageRank iterates K personalized PageRanks — one per
 // source — through batched SpMV steps:
 //
@@ -61,6 +73,17 @@ type batchFusedStepper interface {
 // pool parallelises the element-wise phases on non-fused steppers; it
 // may be nil for sequential execution.
 func RunPersonalizedPageRank(e spmv.BatchStepper, outDeg []int, pool *sched.Pool, sources []int, opt PageRankOptions) (PPRResult, error) {
+	return RunPersonalizedPageRankCtx(nil, e, outDeg, pool, sources, opt)
+}
+
+// RunPersonalizedPageRankCtx is RunPersonalizedPageRank with the
+// RunPageRankCtx failure contract: ctx cancellation stops the run at
+// the next iteration boundary (mid-Step on ctx-aware engines), Step
+// failures return *sched.PanicError / *spmv.NumericError instead of
+// panicking, and under spmv.HealthRollback with CheckpointEvery set a
+// numeric error restores the latest checkpoint (Algo "ppr", K lanes)
+// and retries before surfacing. ctx may be nil.
+func RunPersonalizedPageRankCtx(ctx context.Context, e spmv.BatchStepper, outDeg []int, pool *sched.Pool, sources []int, opt PageRankOptions) (PPRResult, error) {
 	n := e.NumVertices()
 	k := len(sources)
 	if k == 0 {
@@ -75,6 +98,15 @@ func RunPersonalizedPageRank(e spmv.BatchStepper, outDeg []int, pool *sched.Pool
 		}
 	}
 	o := opt.withDefaults()
+	if o.Resume != nil {
+		if err := o.Resume.validate(); err != nil {
+			return PPRResult{}, err
+		}
+		if o.Resume.Algo != "ppr" || o.Resume.N != n || o.Resume.K != k {
+			return PPRResult{}, fmt.Errorf("analytics: resume checkpoint %q n=%d k=%d does not match ppr n=%d k=%d",
+				o.Resume.Algo, o.Resume.N, o.Resume.K, n, k)
+		}
+	}
 
 	invDeg := make([]float64, n)
 	for v, d := range outDeg {
@@ -90,12 +122,20 @@ func RunPersonalizedPageRank(e spmv.BatchStepper, outDeg []int, pool *sched.Pool
 	// when dangling mass is redistributed (it returns to the source).
 	baseVec := make([]float64, n*k)
 	dangling := make([]float64, k)
-	for j, s := range sources {
-		idx := s*k + j
-		ranks[idx] = 1
-		contrib[idx] = invDeg[s]
-		if o.RedistributeDangling && outDeg[s] == 0 {
-			dangling[j] = 1
+	iter := 0
+	if o.Resume != nil {
+		copy(ranks, o.Resume.Ranks)
+		copy(dangling, o.Resume.Aux)
+		restoreContrib(ranks, contrib, invDeg, n, k)
+		iter = o.Resume.Iter
+	} else {
+		for j, s := range sources {
+			idx := s*k + j
+			ranks[idx] = 1
+			contrib[idx] = invDeg[s]
+			if o.RedistributeDangling && outDeg[s] == 0 {
+				dangling[j] = 1
+			}
 		}
 	}
 
@@ -109,7 +149,9 @@ func RunPersonalizedPageRank(e spmv.BatchStepper, outDeg []int, pool *sched.Pool
 		return delta, dangl
 	}
 
+	cfe, ctxFused := e.(batchCtxFusedStepper)
 	fe, fused := e.(batchFusedStepper)
+	ce, ctxPlain := e.(spmv.BatchCtxStepper)
 	workers := 0
 	switch {
 	case fused:
@@ -138,8 +180,38 @@ func RunPersonalizedPageRank(e spmv.BatchStepper, outDeg []int, pool *sched.Pool
 		}
 	}
 
+	var snap, last *Checkpoint
+	retries := 0
+	takeSnapshot := func(iterDone int) {
+		if snap == nil {
+			snap = &Checkpoint{Algo: "ppr", N: n, K: k,
+				Ranks: make([]float64, n*k), Aux: make([]float64, k)}
+		}
+		snap.Iter = iterDone
+		copy(snap.Ranks, ranks)
+		copy(snap.Aux, dangling)
+		last = snap
+		retries = 0
+		if o.OnCheckpoint != nil {
+			o.OnCheckpoint(snap)
+		}
+	}
+	restore := func(c *Checkpoint) {
+		copy(ranks, c.Ranks)
+		copy(dangling, c.Aux)
+		restoreContrib(ranks, contrib, invDeg, n, k)
+		iter = c.Iter
+	}
+	if o.CheckpointEvery > 0 {
+		if o.Resume != nil {
+			last = o.Resume
+		} else {
+			takeSnapshot(0)
+		}
+	}
+
 	res := PPRResult{Ranks: ranks, K: k, Deltas: make([]float64, k)}
-	for iter := 0; iter < o.MaxIters; iter++ {
+	for iter < o.MaxIters {
 		for j, s := range sources {
 			teleport := 1 - o.Damping
 			if o.RedistributeDangling {
@@ -147,17 +219,46 @@ func RunPersonalizedPageRank(e spmv.BatchStepper, outDeg []int, pool *sched.Pool
 			}
 			baseVec[s*k+j] = teleport
 		}
+		var stepErr error
 		switch {
+		case ctxFused:
+			stepErr = cfe.StepBatchEpiCtx(ctx, contrib, sums, k, epi)
 		case fused:
-			fe.StepBatchEpi(contrib, sums, k, epi)
+			if stepErr = ctxErrOf(ctx); stepErr == nil {
+				fe.StepBatchEpi(contrib, sums, k, epi)
+			}
+		case ctxPlain:
+			if stepErr = ce.StepBatchCtx(ctx, contrib, sums, k); stepErr == nil {
+				if pool != nil {
+					stepErr = pool.RunCtx(ctx, poolEpi)
+				} else {
+					d, g := body(0, n)
+					copy(res.Deltas, d)
+					copy(dangling, g)
+				}
+			}
 		case pool != nil:
-			e.StepBatch(contrib, sums, k)
-			pool.Run(poolEpi)
+			if stepErr = ctxErrOf(ctx); stepErr == nil {
+				e.StepBatch(contrib, sums, k)
+				pool.Run(poolEpi)
+			}
 		default:
-			e.StepBatch(contrib, sums, k)
-			d, g := body(0, n)
-			copy(res.Deltas, d)
-			copy(dangling, g)
+			if stepErr = ctxErrOf(ctx); stepErr == nil {
+				e.StepBatch(contrib, sums, k)
+				d, g := body(0, n)
+				copy(res.Deltas, d)
+				copy(dangling, g)
+			}
+		}
+		if stepErr != nil {
+			var nerr *spmv.NumericError
+			if errors.As(stepErr, &nerr) && nerr.Rollback && last != nil && retries < maxRollbackRetries {
+				retries++
+				res.Rollbacks++
+				restore(last)
+				continue
+			}
+			return res, stepErr
 		}
 		if workers > 0 {
 			clear(res.Deltas)
@@ -169,12 +270,30 @@ func RunPersonalizedPageRank(e spmv.BatchStepper, outDeg []int, pool *sched.Pool
 				}
 			}
 		}
-		res.Iters = iter + 1
+		iter++
+		res.Iters = iter
+		if o.CheckpointEvery > 0 && iter%o.CheckpointEvery == 0 {
+			takeSnapshot(iter)
+		}
 		if o.Tol >= 0 && maxOf(res.Deltas) < o.Tol {
 			break
 		}
 	}
 	return res, nil
+}
+
+// restoreContrib recomputes the contribution vector from restored
+// ranks: the same single-rounding ranks·invDeg product the epilogue
+// performs, so a resumed trajectory is bit-for-bit identical.
+//
+//ihtl:noalloc
+func restoreContrib(ranks, contrib, invDeg []float64, n, k int) {
+	for v := 0; v < n; v++ {
+		inv := invDeg[v]
+		for j := 0; j < k; j++ {
+			contrib[v*k+j] = ranks[v*k+j] * inv
+		}
+	}
 }
 
 // bodyInto is the per-vertex-range PPR update, accumulating per-lane

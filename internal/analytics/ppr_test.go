@@ -180,7 +180,7 @@ func TestPPRViaIHTLEngine(t *testing.T) {
 // stay at exactly zero.
 func TestPPRSanity(t *testing.T) {
 	// Two components: a 4-cycle 0→1→2→3→0 and an isolated pair 4→5→4.
-	g := graph.FromEdges(6, []graph.Edge{
+	g := graph.MustFromEdges(6, []graph.Edge{
 		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0},
 		{Src: 4, Dst: 5}, {Src: 5, Dst: 4},
 	})

@@ -6,14 +6,21 @@ import (
 )
 
 // parCaptureMethods are the sched.Pool entry points whose callback
-// argument runs concurrently on every pool worker.
+// argument runs concurrently on every pool worker, including the
+// ctx-aware fallible variants (same callback contract, same races).
 var parCaptureMethods = map[string]bool{
-	"Run":          true,
-	"ForStatic":    true,
-	"ForDynamic":   true,
-	"ForEachPart":  true,
-	"ForSteal":     true,
-	"ForStealWith": true,
+	"Run":             true,
+	"ForStatic":       true,
+	"ForDynamic":      true,
+	"ForEachPart":     true,
+	"ForSteal":        true,
+	"ForStealWith":    true,
+	"RunCtx":          true,
+	"ForStaticCtx":    true,
+	"ForDynamicCtx":   true,
+	"ForEachPartCtx":  true,
+	"ForStealCtx":     true,
+	"ForStealWithCtx": true,
 }
 
 // ParCapture flags worker callbacks passed literally to sched.Pool

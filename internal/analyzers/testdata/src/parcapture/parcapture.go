@@ -64,3 +64,28 @@ func suppressed(p *sched.Pool, xs []float64) {
 	})
 	_ = first
 }
+
+func badCtx(p *sched.Pool, xs []float64) error {
+	total := 0.0
+	err := p.ForDynamicCtx(nil, len(xs), 64, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			total += xs[i] // want `captured variable total`
+		}
+	})
+	_ = total
+	return err
+}
+
+func goodCtx(p *sched.Pool, xs []float64) (float64, error) {
+	partial := make([]float64, p.Workers())
+	err := p.ForStealCtx(nil, len(xs), 64, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			partial[worker] += xs[i] // worker slot: fine
+		}
+	})
+	total := 0.0
+	for _, s := range partial {
+		total += s
+	}
+	return total, err
+}

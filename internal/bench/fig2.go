@@ -35,7 +35,10 @@ func RunFig2(env *Env) error {
 	}
 	fmt.Fprintln(w, "]")
 
-	rg := graph.MustRelabel(g, ih.NewID)
+	rg, err := graph.Relabel(g, ih.NewID)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "\nFigure 6: relabeled matrix — %d hub columns form the flipped block;\n", ih.NumHubs)
 	fmt.Fprintf(w, "FV rows (last %d) have no hub columns (the zero block)\n", ih.NumFV)
 	printMatrix(w, rg, ih, ih.NumHubs)

@@ -2,6 +2,8 @@ package core
 
 import (
 	"cmp"
+	"context"
+	"errors"
 	"fmt"
 	"slices"
 	"time"
@@ -104,6 +106,23 @@ func Build(g *graph.Graph, p Params) (*IHTL, error) {
 // sequential path. The phase breakdown of either path is available
 // through (*IHTL).BuildStats afterwards.
 func BuildWith(g *graph.Graph, p Params, pool *sched.Pool) (*IHTL, error) {
+	return BuildWithCtx(nil, g, p, pool)
+}
+
+// errCoreBuildAborted is the placeholder error of a phase check that
+// observed the pool's abort flag; the deferred region close replaces
+// it with the underlying cause (ctx.Err() or a *sched.PanicError).
+var errCoreBuildAborted = errors.New("core: build aborted")
+
+// BuildWithCtx is BuildWith with cancellation and panic isolation:
+// the whole rank → select → relabel → blocks pipeline runs inside one
+// fallible pool region, so cancelling ctx stops in-flight passes at
+// their next chunk claim and returns ctx.Err() between phases, and a
+// panic in any pool worker comes back as a *sched.PanicError instead
+// of crashing the process. ctx may be nil (no cancellation); a nil or
+// single-worker pool runs sequentially with the same between-phase
+// ctx checks.
+func BuildWithCtx(ctx context.Context, g *graph.Graph, p Params, pool *sched.Pool) (ih *IHTL, err error) {
 	start := time.Now()
 	if g == nil {
 		return nil, fmt.Errorf("core: nil graph")
@@ -115,7 +134,27 @@ func BuildWith(g *graph.Graph, p Params, pool *sched.Pool) (*IHTL, error) {
 	if pool != nil && pool.Workers() <= 1 {
 		pool = nil
 	}
-	ih := &IHTL{NumV: g.NumV, NumE: g.NumE, HubsPerBlock: rp.HubsPerBlock, params: rp}
+	if pool != nil {
+		end, ferr := pool.Fallible(ctx)
+		if ferr != nil {
+			return nil, ferr
+		}
+		defer func() {
+			if rerr := end(); rerr != nil {
+				ih, err = nil, rerr
+			}
+		}()
+	}
+	check := func() error {
+		if pool != nil && pool.Aborted() {
+			return errCoreBuildAborted
+		}
+		if ctx != nil {
+			return ctx.Err()
+		}
+		return nil
+	}
+	ih = &IHTL{NumV: g.NumV, NumE: g.NumE, HubsPerBlock: rp.HubsPerBlock, params: rp}
 	if g.NumV == 0 {
 		ih.NewID = []graph.VID{}
 		ih.OldID = []graph.VID{}
@@ -136,6 +175,9 @@ func BuildWith(g *graph.Graph, p Params, pool *sched.Pool) (*IHTL, error) {
 		ranked = rankByInDegreePar(g, pool, clk)
 	}
 	ih.buildStats.Rank = time.Since(t)
+	if err := check(); err != nil {
+		return nil, err
+	}
 
 	t = time.Now()
 	var numHubs, blocks, minHubDeg int
@@ -147,15 +189,27 @@ func BuildWith(g *graph.Graph, p Params, pool *sched.Pool) (*IHTL, error) {
 	ih.buildStats.Select = time.Since(t)
 	ih.MinHubDegree = minHubDeg
 	ih.NumHubs = numHubs
+	if err := check(); err != nil {
+		return nil, err
+	}
 
 	t = time.Now()
 	relabel(g, ih, ranked, rp, pool, clk)
 	ih.buildStats.Relabel = time.Since(t)
+	if err := check(); err != nil {
+		return nil, err
+	}
 
 	t = time.Now()
 	buildFlippedBlocks(g, ih, blocks, pool, clk)
+	if err := check(); err != nil {
+		return nil, err
+	}
 	buildSparseBlock(g, ih, pool, clk)
 	ih.buildStats.Blocks = time.Since(t)
+	if err := check(); err != nil {
+		return nil, err
+	}
 
 	if got := ih.FlippedEdges() + ih.Sparse.NumEdges(); got != g.NumE {
 		return nil, fmt.Errorf("core: internal error: blocks cover %d edges, want %d", got, g.NumE)

@@ -63,7 +63,10 @@ func TestPaperExampleAdjacency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rg := graph.MustRelabel(g, ih.NewID)
+	rg, err := graph.Relabel(g, ih.NewID)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Original #6 (0-indexed 5) -> new ID 4; its out-neighbours
 	// {2,6,4,7} (0-indexed) map to {0,1,3,5}.
 	want := []graph.VID{0, 1, 3, 5}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"time"
 
+	"ihtl/internal/faultinject"
 	"ihtl/internal/sched"
 	"ihtl/internal/spmv"
 )
@@ -79,6 +82,22 @@ type Engine struct {
 	// of a width and reused while the width is stable.
 	batch *batchState
 
+	// Numeric-health watchdog state. health is the configured policy;
+	// healthArmed stages whether the in-flight step scans (policy on,
+	// Every-th step); healthBad are the per-worker padded bad-element
+	// counters the fused epilogue scan fills; healthErr is the verdict
+	// collected after the dispatch; curK is the staged lane width the
+	// scan must cover (1 for scalar steps).
+	health      spmv.HealthPolicy
+	healthArmed bool
+	healthBad   []healthSlot
+	healthErr   *spmv.NumericError
+	curK        int
+	// healthScanJob is the prebuilt scan body the phased pipeline
+	// dispatches separately (the fused pipeline folds the scan into
+	// runEpilogue).
+	healthScanJob func(w, lo, hi int)
+
 	// clocks accumulate per-worker busy time per phase, cache-line
 	// padded so the frequent updates don't false-share.
 	clocks []workerClock
@@ -144,6 +163,13 @@ func buildBlockTasks(ih *IHTL, chunksPerBlock int) (tasks []blockTask, perBlock,
 // dirtyRange is a half-open hub interval; empty when hi <= lo.
 type dirtyRange struct {
 	lo, hi int
+}
+
+// healthSlot is one worker's non-finite tally, padded to a cache line.
+type healthSlot struct {
+	count int64
+	first int64
+	_     [6]int64
 }
 
 // workerClock is one worker's per-phase busy time, padded to a cache
@@ -233,6 +259,10 @@ type EngineOptions struct {
 	// O(workers x NumHubs) merge sweep — for ablating the fused
 	// single-dispatch pipeline.
 	Phased bool
+	// Health arms the opt-in numeric watchdog: the SpMV result vector
+	// is scanned for NaN/±Inf after each (Every-th) step, fused into
+	// the epilogue sweep on the fused pipeline. See spmv.HealthPolicy.
+	Health spmv.HealthPolicy
 }
 
 // NewEngine prepares an Algorithm 3 engine on the given pool with
@@ -246,7 +276,7 @@ func NewEngineOpts(ih *IHTL, pool *sched.Pool, opt EngineOptions) (*Engine, erro
 	if ih == nil || pool == nil {
 		return nil, fmt.Errorf("core: nil IHTL or pool")
 	}
-	e := &Engine{ih: ih, pool: pool, atomicFlipped: opt.AtomicFlipped, phased: opt.Phased}
+	e := &Engine{ih: ih, pool: pool, atomicFlipped: opt.AtomicFlipped, phased: opt.Phased, health: opt.Health}
 	if !e.atomicFlipped {
 		e.bufs = make([][]float64, pool.Workers())
 		for w := range e.bufs {
@@ -279,6 +309,9 @@ func NewEngineOpts(ih *IHTL, pool *sched.Pool, opt EngineOptions) (*Engine, erro
 		lo, hi := sched.SplitRange(e.ih.NumV, e.pool.Workers(), worker)
 		e.curEpi(worker, lo, hi)
 	}
+	e.healthBad = make([]healthSlot, w)
+	e.healthScanJob = e.healthScan
+	e.curK = 1
 	return e, nil
 }
 
@@ -315,12 +348,39 @@ func (e *Engine) Step(src, dst []float64) { e.StepEpi(src, dst, nil) }
 //
 //ihtl:noalloc
 func (e *Engine) StepEpi(src, dst []float64, epi func(w, lo, hi int)) {
+	if herr := e.stepEpi(src, dst, epi); herr != nil {
+		e.panicHealth(herr)
+	}
+}
+
+// panicHealth raises a watchdog verdict from the plain (non-ctx)
+// entrypoints, which have no error return; StepEpiCtx returns it
+// instead.
+func (e *Engine) panicHealth(herr *spmv.NumericError) {
+	panic(herr)
+}
+
+// stepEpi is the shared body of StepEpi and StepEpiCtx: one scalar
+// step plus epilogue, returning the numeric-health verdict (nil when
+// the watchdog is off, scanning a different step, or satisfied).
+//
+//ihtl:noalloc
+func (e *Engine) stepEpi(src, dst []float64, epi func(w, lo, hi int)) *spmv.NumericError {
 	ih := e.ih
 	if len(src) != ih.NumV || len(dst) != ih.NumV {
 		panic("core: vector length mismatch")
 	}
+	e.armHealth(1)
 	if e.phased {
 		e.stepPhased(src, dst)
+		if e.healthArmed {
+			// The fused pipeline folds this scan into its epilogue
+			// barrier phase; the phased ablation pays one extra
+			// dispatch, consistent with its per-phase structure.
+			e.curDst = dst
+			e.pool.ForStatic(ih.NumV, e.healthScanJob)
+			e.curDst = nil
+		}
 		if epi != nil {
 			start := time.Now()
 			e.curEpi = epi
@@ -334,6 +394,148 @@ func (e *Engine) StepEpi(src, dst []float64, epi func(w, lo, hi int)) {
 		e.curEpi = nil
 	}
 	e.breakdown.Steps++
+	return e.collectHealth()
+}
+
+// StepCtx is Step with cancellation and panic isolation: it returns
+// ctx.Err() promptly when ctx is cancelled (observed at every task
+// claim), converts a pool-worker panic into a returned
+// *sched.PanicError, and returns a *spmv.NumericError when the armed
+// health watchdog fails the step. After a cancelled or panicked step
+// the engine's reusable state (hub buffers, dirty ranges, barriers) is
+// restored, so the next clean step is bit-for-bit identical to one on
+// a fresh engine.
+func (e *Engine) StepCtx(ctx context.Context, src, dst []float64) error {
+	return e.StepEpiCtx(ctx, src, dst, nil)
+}
+
+// StepEpiCtx is StepEpi with the StepCtx contract.
+func (e *Engine) StepEpiCtx(ctx context.Context, src, dst []float64, epi func(w, lo, hi int)) error {
+	end, err := e.pool.Fallible(ctx)
+	if err != nil {
+		return err
+	}
+	herr := e.stepEpi(src, dst, epi)
+	if err := end(); err != nil {
+		e.recoverState()
+		return err
+	}
+	if herr != nil {
+		return herr
+	}
+	return nil
+}
+
+// armHealth stages the watchdog for one step of lane width k.
+//
+//ihtl:noalloc
+func (e *Engine) armHealth(k int) {
+	e.curK = k
+	e.healthErr = nil
+	if e.health.Mode == spmv.HealthOff {
+		e.healthArmed = false
+		return
+	}
+	e.healthArmed = e.health.Every <= 1 || e.breakdown.Steps%e.health.Every == 0
+	if e.healthArmed {
+		for i := range e.healthBad {
+			e.healthBad[i].count = 0
+			e.healthBad[i].first = 0
+		}
+	}
+}
+
+// healthScan is one worker's share of the watchdog sweep over the
+// staged destination vector: flat lanes [lo*k, hi*k). It tallies
+// non-finite elements into the worker's padded slot and, under
+// HealthClamp, zeroes them in place. The first element of the range is
+// routed through the fault injector's poison site, the deterministic
+// hook the recovery tests and ihtlbench -faults use to corrupt a step.
+//
+//ihtl:noalloc
+func (e *Engine) healthScan(w, lo, hi int) {
+	k := e.curK
+	dst := e.curDst
+	flo, fhi := lo*k, hi*k
+	if fhi > flo {
+		dst[flo] = faultinject.Poison(faultinject.SiteStepHealth, dst[flo])
+	}
+	clamp := e.health.Mode == spmv.HealthClamp
+	slot := &e.healthBad[w]
+	for i := flo; i < fhi; i++ {
+		if !isFinite(dst[i]) {
+			if slot.count == 0 {
+				slot.first = int64(i)
+			}
+			slot.count++
+			if clamp {
+				dst[i] = 0
+			}
+		}
+	}
+}
+
+// isFinite reports whether x is neither NaN nor ±Inf (exponent bits
+// not all ones). Bit test, not float compare, so the zero-skip
+// analyzer's float-compare rules don't apply.
+//
+//ihtl:noalloc
+func isFinite(x float64) bool {
+	const expMask = 0x7FF0000000000000
+	return math.Float64bits(x)&expMask != expMask
+}
+
+// collectHealth folds the per-worker scan slots into a verdict after
+// the dispatch. Clamped steps succeed by construction; Error and
+// Rollback modes fail the step when anything non-finite was seen.
+// Only the failure path allocates.
+func (e *Engine) collectHealth() *spmv.NumericError {
+	if !e.healthArmed {
+		return nil
+	}
+	var count int64
+	first := -1
+	for w := range e.healthBad {
+		s := &e.healthBad[w]
+		if s.count == 0 {
+			continue
+		}
+		count += s.count
+		if first < 0 || int(s.first) < first {
+			first = int(s.first)
+		}
+	}
+	if count == 0 || e.health.Mode == spmv.HealthClamp {
+		return nil
+	}
+	e.healthErr = &spmv.NumericError{Count: count, First: first, Rollback: e.health.Mode == spmv.HealthRollback}
+	return e.healthErr
+}
+
+// recoverState restores the engine's reusable cross-step state after
+// an aborted (cancelled or panicked) step, so the next clean step is
+// bit-for-bit identical to one on a fresh engine: hub buffers may hold
+// partial accumulations, dirty ranges may be half-widened, and the
+// intra-dispatch barriers may hold straggler arrival counts.
+func (e *Engine) recoverState() {
+	for w := range e.bufs {
+		clear(e.bufs[w])
+	}
+	for i := range e.dirty {
+		e.dirty[i] = dirtyRange{}
+	}
+	e.epiBarrier.Reset()
+	if e.clearBarrier != nil {
+		e.clearBarrier.Reset()
+	}
+	if e.batch != nil {
+		e.batch.recoverState()
+	}
+	for w := range e.clocks {
+		e.clocks[w] = workerClock{}
+	}
+	e.curSrc, e.curDst, e.curEpi = nil, nil, nil
+	e.healthArmed = false
 }
 
 // stepFused runs all of Algorithm 3 as one pool dispatch; see
@@ -394,12 +596,13 @@ func (e *Engine) fusedWorkerBuffered(w int) {
 	nb := len(ih.Blocks)
 	buf := e.bufs[w]
 	var mergeTime time.Duration
-	for {
+	for !e.pool.Aborted() {
 		lo, hi, ok := e.flipSched.Next(w, 1)
 		if !ok {
 			break
 		}
 		for ti := lo; ti < hi; ti++ {
+			faultinject.Fire(faultinject.SiteFlippedTask)
 			bt := &e.blockTasks[ti]
 			fb := &ih.Blocks[bt.block]
 			dsts := fb.Dsts
@@ -426,6 +629,7 @@ func (e *Engine) fusedWorkerBuffered(w int) {
 				}
 			}
 			if e.blockGate.Done(bt.block) {
+				faultinject.Fire(faultinject.SiteMergeBlock)
 				tm := time.Now()
 				e.mergeBlock(bt.block, dst)
 				mergeTime += time.Since(tm)
@@ -450,12 +654,19 @@ func (e *Engine) fusedWorkerBuffered(w int) {
 //
 //ihtl:noalloc
 func (e *Engine) runEpilogue(w int) {
-	if e.curEpi == nil {
+	if e.curEpi == nil && !e.healthArmed {
 		return
 	}
-	e.epiBarrier.Wait()
+	if !e.epiBarrier.WaitAbort(e.pool) {
+		return
+	}
 	lo, hi := sched.SplitRange(e.ih.NumV, len(e.clocks), w)
-	e.curEpi(w, lo, hi)
+	if e.healthArmed {
+		e.healthScan(w, lo, hi)
+	}
+	if e.curEpi != nil {
+		e.curEpi(w, lo, hi)
+	}
 }
 
 // mergeBlock folds every worker's dirty hub range of block b into dst
@@ -498,15 +709,18 @@ func (e *Engine) fusedWorkerAtomic(w int) {
 		t0 := time.Now()
 		clear(dst[e.hubClearBounds[w]:e.hubClearBounds[w+1]])
 		clk.merge += time.Since(t0)
-		e.clearBarrier.Wait()
+		if !e.clearBarrier.WaitAbort(e.pool) {
+			return
+		}
 	}
 	t1 := time.Now() // after the barrier: waiting is not busy time
-	for {
+	for !e.pool.Aborted() {
 		lo, hi, ok := e.flipSched.Next(w, 1)
 		if !ok {
 			break
 		}
 		for ti := lo; ti < hi; ti++ {
+			faultinject.Fire(faultinject.SiteFlippedTask)
 			bt := &e.blockTasks[ti]
 			fb := &ih.Blocks[bt.block]
 			dsts := fb.Dsts
@@ -540,11 +754,12 @@ func (e *Engine) sparseWorker(w int, src, dst []float64) {
 		return
 	}
 	sp := &e.ih.Sparse
-	for {
+	for !e.pool.Aborted() {
 		lo, hi, ok := e.sparseSched.Next(w, 1)
 		if !ok {
 			return
 		}
+		faultinject.Fire(faultinject.SiteSparsePart)
 		for p := lo; p < hi; p++ {
 			vlo, vhi := e.sparseBounds[p], e.sparseBounds[p+1]
 			for i := vlo; i < vhi; i++ {

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"time"
 
+	"ihtl/internal/faultinject"
 	"ihtl/internal/sched"
 	"ihtl/internal/spmv"
 )
@@ -88,9 +90,18 @@ func (e *Engine) StepBatch(src, dst []float64, k int) {
 //
 //ihtl:noalloc
 func (e *Engine) StepBatchEpi(src, dst []float64, k int, epi func(w, lo, hi int)) {
+	if herr := e.stepBatchEpi(src, dst, k, epi); herr != nil {
+		e.panicHealth(herr)
+	}
+}
+
+// stepBatchEpi is the shared body of StepBatchEpi and StepBatchEpiCtx,
+// returning the numeric-health verdict like stepEpi.
+//
+//ihtl:noalloc
+func (e *Engine) stepBatchEpi(src, dst []float64, k int, epi func(w, lo, hi int)) *spmv.NumericError {
 	if k == 1 {
-		e.StepEpi(src, dst, epi)
-		return
+		return e.stepEpi(src, dst, epi)
 	}
 	if k < 1 {
 		panic("core: batch width < 1")
@@ -100,8 +111,14 @@ func (e *Engine) StepBatchEpi(src, dst []float64, k int, epi func(w, lo, hi int)
 		panic("core: batch vector length mismatch")
 	}
 	b := e.ensureBatch(k)
+	e.armHealth(k)
 	if e.phased {
 		e.stepPhasedBatch(b, src, dst)
+		if e.healthArmed {
+			e.curDst = dst
+			e.pool.ForStatic(ih.NumV, e.healthScanJob)
+			e.curDst = nil
+		}
 		if epi != nil {
 			start := time.Now()
 			e.curEpi = epi
@@ -115,6 +132,41 @@ func (e *Engine) StepBatchEpi(src, dst []float64, k int, epi func(w, lo, hi int)
 		e.curEpi = nil
 	}
 	e.breakdown.Steps++
+	return e.collectHealth()
+}
+
+// StepBatchCtx is StepBatch with the StepCtx contract (cancellation,
+// panic isolation, health verdicts, post-failure state recovery).
+func (e *Engine) StepBatchCtx(ctx context.Context, src, dst []float64, k int) error {
+	return e.StepBatchEpiCtx(ctx, src, dst, k, nil)
+}
+
+// StepBatchEpiCtx is StepBatchEpi with the StepCtx contract.
+func (e *Engine) StepBatchEpiCtx(ctx context.Context, src, dst []float64, k int, epi func(w, lo, hi int)) error {
+	end, err := e.pool.Fallible(ctx)
+	if err != nil {
+		return err
+	}
+	herr := e.stepBatchEpi(src, dst, k, epi)
+	if err := end(); err != nil {
+		e.recoverState()
+		return err
+	}
+	if herr != nil {
+		return herr
+	}
+	return nil
+}
+
+// recoverState clears the K-wide buffers and dirty ranges after an
+// aborted batched step; see Engine.recoverState.
+func (b *batchState) recoverState() {
+	for w := range b.bufs {
+		clear(b.bufs[w])
+	}
+	for i := range b.dirty {
+		b.dirty[i] = dirtyRange{}
+	}
 }
 
 // stepFusedBatch mirrors stepFused for a K-wide dispatch.
@@ -156,12 +208,13 @@ func (e *Engine) fusedWorkerBufferedBatch(b *batchState, w int) {
 	nb := len(ih.Blocks)
 	buf := b.bufs[w]
 	var mergeTime time.Duration
-	for {
+	for !e.pool.Aborted() {
 		lo, hi, ok := e.flipSched.Next(w, 1)
 		if !ok {
 			break
 		}
 		for ti := lo; ti < hi; ti++ {
+			faultinject.Fire(faultinject.SiteFlippedTask)
 			bt := &e.blockTasks[ti]
 			fb := &ih.Blocks[bt.block]
 			dsts := fb.Dsts
@@ -193,6 +246,7 @@ func (e *Engine) fusedWorkerBufferedBatch(b *batchState, w int) {
 				}
 			}
 			if e.blockGate.Done(bt.block) {
+				faultinject.Fire(faultinject.SiteMergeBlock)
 				tm := time.Now()
 				e.mergeBlockBatch(b, bt.block, dst)
 				mergeTime += time.Since(tm)
@@ -250,15 +304,18 @@ func (e *Engine) fusedWorkerAtomicBatch(b *batchState, w int) {
 		t0 := time.Now()
 		clear(dst[b.hubClearBounds[w]:b.hubClearBounds[w+1]])
 		clk.merge += time.Since(t0)
-		e.clearBarrier.Wait()
+		if !e.clearBarrier.WaitAbort(e.pool) {
+			return
+		}
 	}
 	t1 := time.Now()
-	for {
+	for !e.pool.Aborted() {
 		lo, hi, ok := e.flipSched.Next(w, 1)
 		if !ok {
 			break
 		}
 		for ti := lo; ti < hi; ti++ {
+			faultinject.Fire(faultinject.SiteFlippedTask)
 			bt := &e.blockTasks[ti]
 			fb := &ih.Blocks[bt.block]
 			dsts := fb.Dsts
@@ -296,11 +353,12 @@ func (e *Engine) sparseWorkerBatch(w, k int, src, dst []float64) {
 		return
 	}
 	sp := &e.ih.Sparse
-	for {
+	for !e.pool.Aborted() {
 		lo, hi, ok := e.sparseSched.Next(w, 1)
 		if !ok {
 			return
 		}
+		faultinject.Fire(faultinject.SiteSparsePart)
 		for p := lo; p < hi; p++ {
 			vlo, vhi := e.sparseBounds[p], e.sparseBounds[p+1]
 			for i := vlo; i < vhi; i++ {

@@ -1,0 +1,130 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestFireInactiveFastPathAllocs(t *testing.T) {
+	Deactivate()
+	if avg := testing.AllocsPerRun(100, func() {
+		Fire(SiteSchedClaim)
+		_ = Poison(SiteStepHealth, 1.0)
+	}); avg != 0 {
+		t.Fatalf("inactive Fire/Poison allocate %.1f per call, want 0", avg)
+	}
+}
+
+func TestPanicRuleFiresOnExactHit(t *testing.T) {
+	plan := NewPlan(Rule{Site: SiteFlippedTask, Kind: Panic, After: 3})
+	Activate(plan)
+	defer Deactivate()
+
+	fireN := func(n int) (panicked bool, hit int64) {
+		defer func() {
+			if r := recover(); r != nil {
+				ip, ok := r.(*InjectedPanic)
+				if !ok {
+					t.Fatalf("panic value %T, want *InjectedPanic", r)
+				}
+				panicked, hit = true, ip.Hit
+			}
+		}()
+		for i := 0; i < n; i++ {
+			Fire(SiteFlippedTask)
+		}
+		return false, 0
+	}
+
+	if p, _ := fireN(3); p {
+		t.Fatal("rule fired before After hits passed")
+	}
+	p, hit := fireN(1)
+	if !p {
+		t.Fatal("rule did not fire on the (After+1)-th hit")
+	}
+	if hit != 3 {
+		t.Fatalf("fired at hit %d, want 3", hit)
+	}
+	if got := plan.Fired(SiteFlippedTask); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+	if got := plan.Hits(SiteFlippedTask); got != 4 {
+		t.Fatalf("Hits = %d, want 4", got)
+	}
+	// The window is exhausted: further hits pass through.
+	if p, _ := fireN(10); p {
+		t.Fatal("rule fired outside its window")
+	}
+}
+
+func TestNaNRuleOnlyAtPoisonSites(t *testing.T) {
+	plan := NewPlan(Rule{Site: SiteStepHealth, Kind: NaN, After: 1, Times: 2})
+	Activate(plan)
+	defer Deactivate()
+
+	// Fire ignores NaN rules entirely (no hit counting).
+	Fire(SiteStepHealth)
+	if got := plan.Hits(SiteStepHealth); got != 0 {
+		t.Fatalf("Fire counted a hit on a NaN rule: %d", got)
+	}
+
+	got := []float64{
+		Poison(SiteStepHealth, 1), // hit 0: clean
+		Poison(SiteStepHealth, 2), // hit 1: NaN
+		Poison(SiteStepHealth, 3), // hit 2: NaN (Times=2)
+		Poison(SiteStepHealth, 4), // hit 3: clean
+	}
+	want := []bool{false, true, true, false}
+	for i, x := range got {
+		if math.IsNaN(x) != want[i] {
+			t.Fatalf("hit %d: poisoned=%v, want %v", i, math.IsNaN(x), want[i])
+		}
+	}
+	if got[0] != 1 || got[3] != 4 {
+		t.Fatalf("clean hits altered the value: %v", got)
+	}
+	if fired := plan.Fired(SiteStepHealth); fired != 2 {
+		t.Fatalf("Fired = %d, want 2", fired)
+	}
+}
+
+func TestDelayRuleSleeps(t *testing.T) {
+	plan := NewPlan(Rule{Site: SitePullPart, Kind: Delay, Delay: 20 * time.Millisecond})
+	Activate(plan)
+	defer Deactivate()
+	start := time.Now()
+	Fire(SitePullPart)
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay rule slept %v, want >= 20ms", d)
+	}
+}
+
+func TestSeededAfterDeterministicAndBounded(t *testing.T) {
+	for _, span := range []int64{1, 7, 1000} {
+		for seed := uint64(0); seed < 50; seed++ {
+			a := SeededAfter(seed, SiteSchedClaim, span)
+			b := SeededAfter(seed, SiteSchedClaim, span)
+			if a != b {
+				t.Fatalf("seed %d: not deterministic (%d vs %d)", seed, a, b)
+			}
+			if a < 0 || a >= span {
+				t.Fatalf("seed %d: %d outside [0,%d)", seed, a, span)
+			}
+		}
+	}
+	// Different sites should usually pick different points.
+	same := 0
+	for seed := uint64(0); seed < 100; seed++ {
+		if SeededAfter(seed, SiteSchedClaim, 1000) == SeededAfter(seed, SiteSparsePart, 1000) {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("site hash too weak: %d/100 collisions", same)
+	}
+	if got := SeededAfter(42, SiteSchedClaim, 0); got != 0 {
+		t.Fatalf("span<=0 should return 0, got %d", got)
+	}
+}

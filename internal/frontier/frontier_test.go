@@ -141,7 +141,7 @@ func TestEdgeMapClaimsEachDestinationOnce(t *testing.T) {
 			edges = append(edges, graph.Edge{Src: graph.VID(s), Dst: graph.VID(d)})
 		}
 	}
-	g := graph.FromEdges(60, edges)
+	g := graph.MustFromEdges(60, edges)
 	var claimed [60]atomic.Bool
 	srcs := make([]graph.VID, 50)
 	for i := range srcs {
@@ -178,7 +178,7 @@ func TestEdgeMapConnectedComponents(t *testing.T) {
 		}
 		edges = append(edges, graph.Edge{Src: graph.VID(i), Dst: graph.VID(next)})
 	}
-	g := graph.FromEdges(20, edges)
+	g := graph.MustFromEdges(20, edges)
 	label := make([]atomic.Int64, 20)
 	for v := range label {
 		label[v].Store(int64(v))

@@ -1,9 +1,12 @@
 package graph
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"slices"
 
+	"ihtl/internal/faultinject"
 	"ihtl/internal/sched"
 )
 
@@ -31,14 +34,12 @@ func DefaultBuildOptions() BuildOptions {
 }
 
 // FromEdges builds a Graph over vertex IDs [0, numV) from the given
-// edge list using the default options. It panics on out-of-range IDs;
-// use Build for error returns.
-func FromEdges(numV int, edges []Edge) *Graph {
-	g, err := Build(numV, edges, DefaultBuildOptions())
-	if err != nil {
-		panic(err)
-	}
-	return g
+// edge list using the default options, returning an error on
+// out-of-range IDs. It is shorthand for Build with
+// DefaultBuildOptions; the panicking form for known-valid fixture
+// edges is MustFromEdges.
+func FromEdges(numV int, edges []Edge) (*Graph, error) {
+	return Build(numV, edges, DefaultBuildOptions())
 }
 
 // keySrc and keyDst select the bucketing key for the CSR and CSC
@@ -59,6 +60,22 @@ func keyDst(e Edge) (VID, VID) { return e.Dst, e.Src }
 // via per-worker count/prefix/fill passes whose output is identical
 // to the sequential build.
 func Build(numV int, edges []Edge, opt BuildOptions) (*Graph, error) {
+	return BuildCtx(nil, numV, edges, opt)
+}
+
+// errBuildAborted is the placeholder error of a phase check that
+// observed the pool's abort flag; the deferred region close replaces
+// it with the underlying cause (ctx.Err() or a *sched.PanicError).
+var errBuildAborted = errors.New("graph: build aborted")
+
+// BuildCtx is Build with cancellation and panic isolation: the whole
+// multi-pass pipeline runs inside one fallible pool region, so
+// cancelling ctx stops in-flight passes at their next chunk claim and
+// returns ctx.Err() between phases, and a panic in any pool worker
+// comes back as a *sched.PanicError instead of crashing the process.
+// ctx may be nil (no cancellation); a nil or single-worker opt.Pool
+// runs sequentially with the same between-phase ctx checks.
+func BuildCtx(ctx context.Context, numV int, edges []Edge, opt BuildOptions) (g *Graph, err error) {
 	if numV < 0 || numV >= 1<<32 {
 		return nil, fmt.Errorf("graph: vertex count %d out of range", numV)
 	}
@@ -66,22 +83,60 @@ func Build(numV int, edges []Edge, opt BuildOptions) (*Graph, error) {
 	if pool != nil && pool.Workers() <= 1 {
 		pool = nil
 	}
+	if pool != nil {
+		end, ferr := pool.Fallible(ctx)
+		if ferr != nil {
+			return nil, ferr
+		}
+		defer func() {
+			if rerr := end(); rerr != nil {
+				g, err = nil, rerr
+			}
+		}()
+	}
+	check := func() error {
+		if pool != nil && pool.Aborted() {
+			return errBuildAborted
+		}
+		if ctx != nil {
+			return ctx.Err()
+		}
+		return nil
+	}
 	if bad := validateEdges(numV, edges, pool); bad >= 0 {
 		e := edges[bad]
 		return nil, fmt.Errorf("graph: edge %d (%d->%d) out of range [0,%d)", bad, e.Src, e.Dst, numV)
 	}
+	if err := check(); err != nil {
+		return nil, err
+	}
 	if opt.DropSelfLoops {
 		edges = dropSelfLoops(edges, pool)
+		if err := check(); err != nil {
+			return nil, err
+		}
 	}
 
-	g := &Graph{NumV: numV}
+	g = &Graph{NumV: numV}
 	g.OutIndex, g.OutNbrs = bucketByKey(numV, edges, keySrc, pool)
+	if err := check(); err != nil {
+		return nil, err
+	}
 	g.InIndex, g.InNbrs = bucketByKey(numV, edges, keyDst, pool)
+	if err := check(); err != nil {
+		return nil, err
+	}
 	sortAdjacency(g.OutIndex, g.OutNbrs, pool)
 	sortAdjacency(g.InIndex, g.InNbrs, pool)
+	if err := check(); err != nil {
+		return nil, err
+	}
 	if opt.Dedup {
 		g.OutIndex, g.OutNbrs = dedupAdjacency(g.OutIndex, g.OutNbrs, pool)
 		g.InIndex, g.InNbrs = dedupAdjacency(g.InIndex, g.InNbrs, pool)
+		if err := check(); err != nil {
+			return nil, err
+		}
 		if g.OutIndex[numV] != g.InIndex[numV] {
 			// Cannot happen: dedup on both sides removes the same
 			// duplicate (src,dst) pairs.
@@ -271,6 +326,7 @@ func sortAdjacency(index []int64, nbrs []VID, pool *sched.Pool) {
 		return
 	}
 	pool.ForSteal(n, 256, func(_, lo, hi int) {
+		faultinject.Fire(faultinject.SiteBuildSort)
 		for v := lo; v < hi; v++ {
 			sortRange(index, nbrs, v)
 		}

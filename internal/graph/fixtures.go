@@ -1,5 +1,17 @@
 package graph
 
+// MustFromEdges is FromEdges for known-valid fixture and test edge
+// lists: it panics on a build error instead of returning it. Library
+// code paths handling user input must use Build/FromEdges, whose
+// errors are returned.
+func MustFromEdges(numV int, edges []Edge) *Graph {
+	g, err := FromEdges(numV, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
 // PaperExample returns the 8-vertex example graph of the paper's
 // Figure 2.(a)/Figure 5, reconstructed (0-indexed) from the facts
 // stated in §2.3 and Figure 4:
@@ -38,7 +50,7 @@ func Path(n int) *Graph {
 	for i := 0; i+1 < n; i++ {
 		edges = append(edges, Edge{VID(i), VID(i + 1)})
 	}
-	return FromEdges(n, edges)
+	return MustFromEdges(n, edges)
 }
 
 // Cycle returns a directed cycle over n vertices.
@@ -47,7 +59,7 @@ func Cycle(n int) *Graph {
 	for i := 0; i < n; i++ {
 		edges = append(edges, Edge{VID(i), VID((i + 1) % n)})
 	}
-	return FromEdges(n, edges)
+	return MustFromEdges(n, edges)
 }
 
 // Star returns a graph where vertices 1..n-1 all point at vertex 0 —
@@ -57,7 +69,7 @@ func Star(n int) *Graph {
 	for i := 1; i < n; i++ {
 		edges = append(edges, Edge{VID(i), 0})
 	}
-	return FromEdges(n, edges)
+	return MustFromEdges(n, edges)
 }
 
 // Complete returns the complete directed graph on n vertices
@@ -71,5 +83,5 @@ func Complete(n int) *Graph {
 			}
 		}
 	}
-	return FromEdges(n, edges)
+	return MustFromEdges(n, edges)
 }

@@ -303,22 +303,25 @@ func TestParallelBuilderSortsAdjacency(t *testing.T) {
 	}
 }
 
-func TestFromEdgesPanicsOnBadInput(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("FromEdges accepted out-of-range edge")
-		}
-	}()
-	FromEdges(2, []Edge{{Src: 0, Dst: 9}})
+func TestFromEdgesRejectsBadInput(t *testing.T) {
+	if _, err := FromEdges(2, []Edge{{Src: 0, Dst: 9}}); err == nil {
+		t.Fatal("FromEdges accepted out-of-range edge")
+	}
 }
 
-func TestMustRelabelPanicsOnBadPerm(t *testing.T) {
+func TestMustFromEdgesPanicsOnBadInput(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("MustRelabel accepted short permutation")
+			t.Fatal("MustFromEdges accepted out-of-range edge")
 		}
 	}()
-	MustRelabel(PaperExample(), make([]VID, 2))
+	MustFromEdges(2, []Edge{{Src: 0, Dst: 9}})
+}
+
+func TestRelabelRejectsShortPerm(t *testing.T) {
+	if _, err := Relabel(PaperExample(), make([]VID, 2)); err == nil {
+		t.Fatal("Relabel accepted short permutation")
+	}
 }
 
 func TestSaveFileErrorPaths(t *testing.T) {

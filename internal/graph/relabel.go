@@ -62,16 +62,6 @@ func Relabel(g *Graph, newID []VID) (*Graph, error) {
 	return ng, nil
 }
 
-// MustRelabel is Relabel that panics on error; for use with
-// permutations produced by this repository's own ordering code.
-func MustRelabel(g *Graph, newID []VID) *Graph {
-	ng, err := Relabel(g, newID)
-	if err != nil {
-		panic(err)
-	}
-	return ng
-}
-
 // IdentityPerm returns the identity permutation over n vertices.
 func IdentityPerm(n int) []VID {
 	p := make([]VID, n)

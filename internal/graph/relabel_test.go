@@ -97,8 +97,14 @@ func TestRelabelRejectsBadPerm(t *testing.T) {
 func TestRelabelRoundTrip(t *testing.T) {
 	g := randomGraph(3, 100, 700)
 	perm := randomPerm(4, g.NumV)
-	ng := MustRelabel(g, perm)
-	back := MustRelabel(ng, InvertPerm(perm))
+	ng, err := Relabel(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Relabel(ng, InvertPerm(perm))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for v := 0; v < g.NumV; v++ {
 		a, b := g.Out(VID(v)), back.Out(VID(v))
 		if len(a) != len(b) {

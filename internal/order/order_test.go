@@ -79,7 +79,7 @@ func TestAlgorithmsOnEmptyAndTiny(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	single := graph.FromEdges(2, []graph.Edge{{Src: 0, Dst: 1}})
+	single := graph.MustFromEdges(2, []graph.Edge{{Src: 0, Dst: 1}})
 	for _, alg := range allAlgorithms() {
 		if p := alg.Permutation(empty); len(p) != 0 {
 			t.Errorf("%s: empty graph gave %d ids", alg.Name(), len(p))
@@ -153,7 +153,7 @@ func TestGOrderPlacesNeighboursNearby(t *testing.T) {
 	clique(0)
 	clique(5)
 	edges = append(edges, graph.Edge{Src: 0, Dst: 5})
-	g := graph.FromEdges(10, edges)
+	g := graph.MustFromEdges(10, edges)
 	perm := GOrder{}.Permutation(g)
 	checkPermutation(t, "gorder/cliques", g, perm)
 	var gapSum, cnt float64
@@ -188,7 +188,7 @@ func TestRabbitOrderGroupsCommunities(t *testing.T) {
 	dense(0, 8)
 	dense(8, 8)
 	edges = append(edges, graph.Edge{Src: 0, Dst: 8})
-	g := graph.FromEdges(16, edges)
+	g := graph.MustFromEdges(16, edges)
 	perm := RabbitOrder{}.Permutation(g)
 	checkPermutation(t, "rabbit/communities", g, perm)
 	// Community A = vertices 0..7. Its new ids must form one block.
@@ -268,7 +268,10 @@ func TestVEBOBalancesVerticesAndEdges(t *testing.T) {
 	if len(bounds) != 9 || bounds[0] != 0 || bounds[8] != g.NumV {
 		t.Fatalf("bounds %v", bounds)
 	}
-	rg := graph.MustRelabel(g, perm)
+	rg, err := graph.Relabel(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
 	capacity := (g.NumV + 7) / 8
 	var minE, maxE int64 = 1 << 62, 0
 	for i := 0; i < 8; i++ {

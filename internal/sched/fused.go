@@ -49,6 +49,40 @@ func (b *Barrier) Wait() {
 	}
 }
 
+// WaitAbort is Wait for barriers crossed inside fallible regions: it
+// additionally polls the pool's abort flag while spinning and returns
+// false without crossing when the dispatch is aborting (a sibling
+// worker panicked before arriving, or the region's context was
+// cancelled) — the release that keeps panic isolation deadlock-free.
+// A last arriver always completes the crossing and returns true.
+// After an aborted crossing the barrier may hold straggler arrival
+// counts; the orchestrator must Reset it before reuse (the engines do
+// this in their post-failure state recovery).
+//
+//ihtl:noalloc
+func (b *Barrier) WaitAbort(p *Pool) bool {
+	gen := b.sense.Load()
+	if b.arrived.Add(1) == b.n {
+		b.arrived.Store(0)
+		b.sense.Add(1)
+		return true
+	}
+	for b.sense.Load() == gen {
+		if p.Aborted() {
+			return false
+		}
+		runtime.Gosched()
+	}
+	return true
+}
+
+// Reset re-arms a barrier abandoned by an aborted crossing, clearing
+// partial arrival counts. It must only be called while no worker is
+// inside Wait/WaitAbort (i.e. between dispatches).
+func (b *Barrier) Reset() {
+	b.arrived.Store(0)
+}
+
 // Countdowns is a set of atomic countdown latches, one per item. The
 // fused iHTL Step uses one latch per flipped block: every task of the
 // block decrements it on completion, and the worker whose decrement

@@ -12,6 +12,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"ihtl/internal/faultinject"
 )
 
 // Pool is a fixed set of worker goroutines that repeatedly execute
@@ -40,6 +42,27 @@ type Pool struct {
 	// reset by dispatch. Reuse is safe because dispatches are
 	// single-orchestrator: no two jobs are in flight at once.
 	dyn atomic.Int64
+
+	// abort is the cooperative kill switch of the current dispatch: set
+	// when a worker panics or the region's context is cancelled, read
+	// once per chunk claim by every dynamic mode (and pollable via
+	// Aborted by engine-owned claim loops and abort-aware barriers).
+	// dispatch re-derives it from ctxCanceled and regionErr, so a
+	// failure poisons the rest of its region but never the next one.
+	abort atomic.Bool
+	// ctxCanceled mirrors ctx.Done() of the Fallible region currently
+	// armed, set by the watcher goroutine and cleared when the watcher
+	// is joined.
+	ctxCanceled atomic.Bool
+	// panicMu serialises first-panic capture across workers; panicErr
+	// is read by the orchestrator only after done.Wait (a WaitGroup
+	// happens-before edge), so the read needs no lock.
+	panicMu  sync.Mutex
+	panicErr *PanicError
+
+	// Orchestrator-only region state (see Fallible).
+	inRegion  bool
+	regionErr error
 }
 
 // job is one worker's share of a dispatch. Exactly one mode is set:
@@ -84,44 +107,66 @@ func NewPool(workers int) *Pool {
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for j := range p.jobs {
-		switch {
-		case j.fn != nil:
-			j.fn(j.id)
-		case j.steal != nil:
-			for {
-				lo, hi, ok := j.steal.Next(j.id, j.grain)
-				if !ok {
-					break
-				}
-				j.rangeFn(j.id, lo, hi)
-			}
-		case j.partFn != nil:
-			for {
-				part := int(p.dyn.Add(1)) - 1
-				if part >= j.dynN {
-					break
-				}
-				j.partFn(j.id, part)
-			}
-		case j.dynN > 0:
-			for {
-				lo := int(p.dyn.Add(int64(j.grain))) - j.grain
-				if lo >= j.dynN {
-					break
-				}
-				hi := lo + j.grain
-				if hi > j.dynN {
-					hi = j.dynN
-				}
-				j.rangeFn(j.id, lo, hi)
-			}
-		default:
-			lo, hi := splitRange(j.staticN, p.workers, j.id)
-			if lo < hi {
-				j.rangeFn(j.id, lo, hi)
-			}
-		}
+		p.runJob(j)
 		j.done.Done()
+	}
+}
+
+// runJob executes one worker's share of a dispatch. Every dynamic
+// claim loop re-checks the pool's abort flag before taking the next
+// chunk — one atomic load per claim, the amortised cancellation cost —
+// and the deferred recover isolates a panicking worker body: the panic
+// is captured (first wins) and the abort flag tripped so sibling claim
+// loops drain instead of deadlocking on unreachable barriers.
+//
+//ihtl:noalloc
+func (p *Pool) runJob(j job) {
+	defer p.recoverWorker(j.id)
+	switch {
+	case j.fn != nil:
+		if p.abort.Load() {
+			return
+		}
+		j.fn(j.id)
+	case j.steal != nil:
+		for !p.abort.Load() {
+			lo, hi, ok := j.steal.Next(j.id, j.grain)
+			if !ok {
+				return
+			}
+			faultinject.Fire(faultinject.SiteSchedClaim)
+			j.rangeFn(j.id, lo, hi)
+		}
+	case j.partFn != nil:
+		for !p.abort.Load() {
+			part := int(p.dyn.Add(1)) - 1
+			if part >= j.dynN {
+				return
+			}
+			faultinject.Fire(faultinject.SiteSchedClaim)
+			j.partFn(j.id, part)
+		}
+	case j.dynN > 0:
+		for !p.abort.Load() {
+			lo := int(p.dyn.Add(int64(j.grain))) - j.grain
+			if lo >= j.dynN {
+				return
+			}
+			hi := lo + j.grain
+			if hi > j.dynN {
+				hi = j.dynN
+			}
+			faultinject.Fire(faultinject.SiteSchedClaim)
+			j.rangeFn(j.id, lo, hi)
+		}
+	default:
+		if p.abort.Load() {
+			return
+		}
+		lo, hi := splitRange(j.staticN, p.workers, j.id)
+		if lo < hi {
+			j.rangeFn(j.id, lo, hi)
+		}
 	}
 }
 
@@ -137,13 +182,19 @@ func (p *Pool) Run(fn func(worker int)) {
 	p.dispatch(job{fn: fn})
 }
 
-// dispatch fans the job template out to every worker and waits.
+// dispatch fans the job template out to every worker and waits. On a
+// closed pool it panics with ErrPoolClosed (the ctx-aware entrypoints
+// return it instead). A worker panic during the dispatch is re-raised
+// here on the orchestrator — unless a Fallible region is open, in
+// which case it is recorded as the region's error and the region's
+// remaining dispatches degrade to cheap no-ops.
 //
 //ihtl:noalloc
 func (p *Pool) dispatch(tmpl job) {
 	if p.closed.Load() {
-		panic("sched: Run on closed Pool")
+		p.panicClosed()
 	}
+	p.abort.Store(p.ctxCanceled.Load() || p.regionErr != nil)
 	p.dyn.Store(0)
 	tmpl.done = &p.done
 	p.done.Add(p.workers)
@@ -152,10 +203,45 @@ func (p *Pool) dispatch(tmpl job) {
 		p.jobs <- tmpl
 	}
 	p.done.Wait()
+	if p.panicErr != nil {
+		p.settlePanic()
+	}
 }
 
-// Close shuts the pool down. It must not be called concurrently with
-// Run, and Run must not be called afterwards.
+func (p *Pool) panicClosed() {
+	panic(ErrPoolClosed)
+}
+
+// settlePanic consumes the captured worker panic after a dispatch:
+// inside a Fallible region it becomes the region error (first
+// failure wins); outside one it is re-raised on the orchestrator,
+// preserving the pre-robustness contract that a panicking worker body
+// crashes the plain dispatch call.
+func (p *Pool) settlePanic() {
+	pe := p.panicErr
+	p.panicErr = nil
+	if p.inRegion {
+		if p.regionErr == nil {
+			p.regionErr = pe
+		}
+		return
+	}
+	panic(pe)
+}
+
+// Aborted reports whether the in-flight dispatch has been asked to
+// stop (a sibling worker panicked, or the Fallible region's context
+// was cancelled). Engine-owned claim loops running under Run poll it
+// at task boundaries; it is one atomic load.
+//
+//ihtl:noalloc
+func (p *Pool) Aborted() bool { return p.abort.Load() }
+
+// Close shuts the pool down and is idempotent: the first call closes
+// the job channel and joins the workers, subsequent calls return
+// immediately. It must not be called concurrently with a dispatch;
+// dispatching afterwards panics with (or, via the ctx-aware
+// entrypoints, returns) ErrPoolClosed.
 func (p *Pool) Close() {
 	if p.closed.Swap(true) {
 		return

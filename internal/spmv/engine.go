@@ -13,8 +13,10 @@
 package spmv
 
 import (
+	"context"
 	"fmt"
 
+	"ihtl/internal/faultinject"
 	"ihtl/internal/graph"
 	"ihtl/internal/sched"
 )
@@ -201,6 +203,30 @@ func (e *Engine) Step(src, dst []float64) {
 	e.curSrc, e.curDst = nil, nil
 }
 
+// StepCtx implements CtxStepper: Step with cancellation observed at
+// every partition claim and worker panics returned as *sched.PanicError.
+// A failed step may leave dst partially written; the per-call buffer
+// clears at the top of Step mean no internal engine state needs
+// recovery before the next call.
+func (e *Engine) StepCtx(ctx context.Context, src, dst []float64) error {
+	end, err := e.pool.Fallible(ctx)
+	if err != nil {
+		return err
+	}
+	e.Step(src, dst)
+	return end()
+}
+
+// StepBatchCtx implements BatchCtxStepper; see StepCtx.
+func (e *Engine) StepBatchCtx(ctx context.Context, src, dst []float64, k int) error {
+	end, err := e.pool.Fallible(ctx)
+	if err != nil {
+		return err
+	}
+	e.StepBatch(src, dst, k)
+	return end()
+}
+
 // pullWorker is Algorithm 1: destinations are processed in parallel
 // over edge-balanced partitions; writes need no synchronisation
 // because each destination is owned by exactly one partition.
@@ -209,6 +235,7 @@ func (e *Engine) Step(src, dst []float64) {
 func (e *Engine) pullWorker(w, lo, hi int) {
 	g, src, dst := e.g, e.curSrc, e.curDst
 	nbrs := g.InNbrs
+	faultinject.Fire(faultinject.SitePullPart)
 	for part := lo; part < hi; part++ {
 		vlo, vhi := e.pullBounds[part], e.pullBounds[part+1]
 		for v := vlo; v < vhi; v++ {

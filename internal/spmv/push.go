@@ -4,6 +4,8 @@ import (
 	"math"
 	"sync/atomic"
 	"unsafe"
+
+	"ihtl/internal/faultinject"
 )
 
 // SkipZero reports whether x is positive zero — the ONLY value the
@@ -83,6 +85,7 @@ func (e *Engine) bufferedWorker(w, lo, hi int) {
 	g, src := e.g, e.curSrc
 	buf := e.threadBufs[w]
 	nbrs := g.OutNbrs
+	faultinject.Fire(faultinject.SitePushPart)
 	for part := lo; part < hi; part++ {
 		vlo, vhi := e.pushBounds[part], e.pushBounds[part+1]
 		for v := vlo; v < vhi; v++ {

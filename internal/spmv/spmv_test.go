@@ -238,7 +238,7 @@ func TestSimulatePullVsPushOnHubGraph(t *testing.T) {
 			edges = append(edges, graph.Edge{Src: graph.VID(s), Dst: graph.VID(h)})
 		}
 	}
-	g := graph.FromEdges(K+N, edges)
+	g := graph.MustFromEdges(K+N, edges)
 	cfg := cacheTestConfig()
 	pullStats, _ := SimulatePull(g, cfg, false)
 	pushStats := SimulatePush(g, cfg)

@@ -77,12 +77,12 @@ func TestHistogram(t *testing.T) {
 
 func TestAsymmetricityExtremes(t *testing.T) {
 	// Fully reciprocated pair: asymmetricity 0 on both.
-	g := graph.FromEdges(2, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}})
+	g := graph.MustFromEdges(2, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}})
 	if a := Asymmetricity(g, 0); a != 0 {
 		t.Fatalf("reciprocated asymmetricity = %v, want 0", a)
 	}
 	// One-way edge: destination fully asymmetric.
-	g2 := graph.FromEdges(2, []graph.Edge{{Src: 0, Dst: 1}})
+	g2 := graph.MustFromEdges(2, []graph.Edge{{Src: 0, Dst: 1}})
 	if a := Asymmetricity(g2, 1); a != 1 {
 		t.Fatalf("one-way asymmetricity = %v, want 1", a)
 	}
@@ -94,7 +94,7 @@ func TestAsymmetricityExtremes(t *testing.T) {
 
 func TestAsymmetricityPartial(t *testing.T) {
 	// v=0 has in-neighbours {1,2,3}; only 1 is reciprocated.
-	g := graph.FromEdges(4, []graph.Edge{
+	g := graph.MustFromEdges(4, []graph.Edge{
 		{Src: 1, Dst: 0}, {Src: 2, Dst: 0}, {Src: 3, Dst: 0}, {Src: 0, Dst: 1},
 	})
 	want := 2.0 / 3.0
