@@ -423,6 +423,38 @@ func BenchmarkStepBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkSparseKernel ablates the sparse-block kernel three ways —
+// the paper's uniform pull, the degree-aware pull schedule, and the
+// two-phase propagation-blocked kernel (DESIGN.md §12) — on both
+// analogs. The web analog is the interesting one: its sparse block
+// holds most of the edges, so the sparse kernel dominates the step.
+func BenchmarkSparseKernel(b *testing.B) {
+	benchSetup(b)
+	for _, gr := range []struct {
+		name string
+		g    *graph.Graph
+	}{{"social", benchSocial}, {"web", benchWeb}} {
+		ih, err := core.Build(gr.g, core.Params{HubsPerBlock: benchB})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, k := range []core.SparseKernel{core.SparsePull, core.SparsePullDegree, core.SparsePB} {
+			k := k
+			b.Run(gr.name+"/"+k.String(), func(b *testing.B) {
+				e, err := core.NewEngineOpts(ih, benchPool, core.EngineOptions{SparseKernel: k})
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchStepper(b, gr.g, e)
+				br := e.TakeBreakdown()
+				if br.Steps > 0 {
+					b.ReportMetric(float64(br.SparseTotalBusy().Nanoseconds())/float64(br.Steps)/1e3, "sparse-us")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblationBlockThreshold ablates §3.3's 50% FV admission
 // threshold (DESIGN.md ablation 2).
 func BenchmarkAblationBlockThreshold(b *testing.B) {

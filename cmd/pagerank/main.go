@@ -25,7 +25,8 @@ import (
 func main() {
 	var (
 		in      = flag.String("i", "", "input graph file")
-		engine  = flag.String("engine", "ihtl", "engine: ihtl | pull | push-atomic | push-buffered | push-partitioned")
+		engine  = flag.String("engine", "ihtl", "engine: ihtl | pull | push-atomic | push-buffered | push-partitioned | prop-blocked")
+		sparse  = flag.String("sparse", "auto", "iHTL sparse-block kernel: auto | pull | pull-degree | pb")
 		iters   = flag.Int("iters", 20, "PageRank iterations")
 		top     = flag.Int("top", 10, "print the top-K ranked vertices")
 		workers = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
@@ -49,11 +50,15 @@ func main() {
 	prepStart := time.Now()
 	switch *engine {
 	case "ihtl":
+		kernel, err := core.ParseSparseKernel(*sparse)
+		if err != nil {
+			fatal(err)
+		}
 		ih, err := core.Build(g, core.Params{HubsPerBlock: *hpb})
 		if err != nil {
 			fatal(err)
 		}
-		e, err := core.NewEngine(ih, pool)
+		e, err := core.NewEngineOpts(ih, pool, core.EngineOptions{SparseKernel: kernel})
 		if err != nil {
 			fatal(err)
 		}
@@ -77,6 +82,8 @@ func main() {
 			dir = spmv.PushBuffered
 		case "push-partitioned":
 			dir = spmv.PushPartitioned
+		case "prop-blocked":
+			dir = spmv.PropBlocked
 		default:
 			fatal(fmt.Errorf("unknown engine %q", *engine))
 		}

@@ -72,8 +72,28 @@ type Stepper = spmv.Stepper
 type PageRankOptions = analytics.PageRankOptions
 
 // EngineOptions tunes the iHTL engine beyond Params: pipeline
-// ablations and the opt-in numeric-health watchdog.
+// ablations, the sparse-block kernel, and the opt-in numeric-health
+// watchdog.
 type EngineOptions = core.EngineOptions
+
+// SparseKernel selects the engine's sparse-block kernel via
+// EngineOptions.SparseKernel; see the constants below.
+type SparseKernel = core.SparseKernel
+
+// Sparse-block kernels: the repository default (auto), the paper's
+// uniform pull, degree-aware-scheduled pull, and the two-phase
+// propagation-blocked kernel. All three produce bit-for-bit identical
+// results; they differ only in locality and scheduling.
+const (
+	SparseAuto       = core.SparseAuto
+	SparsePull       = core.SparsePull
+	SparsePullDegree = core.SparsePullDegree
+	SparsePB         = core.SparsePB
+)
+
+// ParseSparseKernel parses a sparse-kernel name ("auto", "pull",
+// "pull-degree", "pb") as used by the CLI -sparse flags.
+func ParseSparseKernel(s string) (SparseKernel, error) { return core.ParseSparseKernel(s) }
 
 // HealthPolicy configures the opt-in numeric watchdog: the SpMV
 // result vector is scanned for NaN/±Inf after each (Every-th) Step,
@@ -248,6 +268,7 @@ const (
 	PushAtomic      = spmv.PushAtomic
 	PushBuffered    = spmv.PushBuffered
 	PushPartitioned = spmv.PushPartitioned
+	PropBlocked     = spmv.PropBlocked
 )
 
 // NewBaselineEngine prepares a pull/push SpMV engine (the paper's

@@ -121,6 +121,25 @@ func TestStepJSONRoundTrip(t *testing.T) {
 		if r.Dataset != d.Name || r.Edges <= 0 || r.NsPerStep <= 0 || r.NsPerEdge <= 0 {
 			t.Fatalf("implausible measurement: %+v", r)
 		}
+		if r.BytesPerEdge <= 0 {
+			t.Fatalf("%s: missing bytes_per_edge: %+v", r.Kernel, r)
+		}
+		switch r.Kernel {
+		case "ihtl-fused", "ihtl-phased", "ihtl-pull-degree":
+			// The pull-family sparse kernels charge SparseNs only.
+			if r.SparseNs <= 0 || r.BinNs != 0 || r.DrainNs != 0 {
+				t.Fatalf("%s: bad phase split: %+v", r.Kernel, r)
+			}
+		case "ihtl-pb":
+			// The propagation-blocked kernel splits bin vs drain.
+			if r.BinNs <= 0 || r.DrainNs <= 0 || r.SparseNs != 0 {
+				t.Fatalf("%s: bad phase split: %+v", r.Kernel, r)
+			}
+		default:
+			if r.SparseNs != 0 || r.BinNs != 0 || r.DrainNs != 0 {
+				t.Fatalf("%s: baseline record grew phase clocks: %+v", r.Kernel, r)
+			}
+		}
 	}
 	path := filepath.Join(t.TempDir(), "results", "BENCH_step.json")
 	if err := WriteStepJSON(path, rep); err != nil {

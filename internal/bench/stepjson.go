@@ -13,12 +13,16 @@ import (
 )
 
 // StepKernels lists the kernel IDs RunStepJSON measures, in report
-// order: the four baseline traversal engines, the fused Algorithm 3
-// engine, and its pre-fusion phased ablation.
+// order: the five baseline traversal engines (including standalone
+// propagation blocking), the fused Algorithm 3 engine with its sparse
+// kernel pinned to the paper's pull, its pre-fusion phased ablation,
+// and the two sparse-kernel ablations (degree-aware pull and
+// propagation-blocked; sparse.go).
 func StepKernels() []string {
 	return []string{
 		"pull", "push-atomic", "push-buffered", "push-partitioned",
-		"ihtl-fused", "ihtl-phased",
+		"prop-blocked",
+		"ihtl-fused", "ihtl-phased", "ihtl-pull-degree", "ihtl-pb",
 	}
 }
 
@@ -33,6 +37,20 @@ type StepResult struct {
 	Edges     int64   `json:"edges"`
 	NsPerStep int64   `json:"ns_per_step"`
 	NsPerEdge float64 `json:"ns_per_edge"`
+
+	// BytesPerEdge is the kernel's modelled memory traffic per edge
+	// (engine BytesPerStep / Edges; see internal/spmv/footprint.go):
+	// topology streams once, vertex-data accesses per access, scratch
+	// passes per pass. It is a demand model, not a measurement.
+	BytesPerEdge float64 `json:"bytes_per_edge,omitempty"`
+
+	// SparseNs/BinNs/DrainNs split an iHTL record's per-step sparse
+	// busy time by phase: the pull kernels charge SparseNs, the
+	// propagation-blocked kernel charges its two phases separately.
+	// Baseline (non-iHTL) records leave all three at zero.
+	SparseNs int64 `json:"sparse_ns,omitempty"`
+	BinNs    int64 `json:"bin_ns,omitempty"`
+	DrainNs  int64 `json:"drain_ns,omitempty"`
 
 	// BatchK is the batch width of a batched-kernel record (0 for
 	// scalar records). NsPerStep is then the time of one K-wide
@@ -74,14 +92,31 @@ func RunStepJSON(env *Env, datasets []*Dataset) (*StepReport, error) {
 				return nil, fmt.Errorf("%s/%s: %w", d.Name, kernel, err)
 			}
 			ns := stepTime(e, env.Iters).Nanoseconds()
-			rep.Results = append(rep.Results, StepResult{
+			res := StepResult{
 				Dataset:   d.Name,
 				Kernel:    kernel,
 				Vertices:  g.NumV,
 				Edges:     g.NumE,
 				NsPerStep: ns,
 				NsPerEdge: float64(ns) / float64(g.NumE),
-			})
+			}
+			if fp, ok := e.(interface{ BytesPerStep() int64 }); ok {
+				res.BytesPerEdge = float64(fp.BytesPerStep()) / float64(g.NumE)
+			}
+			if ce, ok := e.(*core.Engine); ok {
+				if b := ce.TakeBreakdown(); b.Steps > 0 {
+					steps := int64(b.Steps)
+					res.SparseNs = b.SparseBusy.Nanoseconds() / steps
+					res.BinNs = b.BinBusy.Nanoseconds() / steps
+					res.DrainNs = b.DrainBusy.Nanoseconds() / steps
+					if res.SparseNs == 0 && res.BinNs == 0 {
+						// The phased pipeline records wall-clock phase
+						// boundaries instead of per-worker busy clocks.
+						res.SparseNs = b.Sparse.Nanoseconds() / steps
+					}
+				}
+			}
+			rep.Results = append(rep.Results, res)
 		}
 	}
 	return rep, nil
@@ -163,13 +198,28 @@ func stepEngine(env *Env, g *graph.Graph, kernel string) (spmv.Stepper, error) {
 		return spmv.NewEngine(g, env.Pool, spmv.PushBuffered, spmv.Options{})
 	case "push-partitioned":
 		return spmv.NewEngine(g, env.Pool, spmv.PushPartitioned, spmv.Options{})
+	case "prop-blocked":
+		return spmv.NewEngine(g, env.Pool, spmv.PropBlocked, spmv.Options{})
 	case "ihtl-fused", "ihtl-phased":
+		// Sparse kernel pinned to the paper's pull so the ihtl-* rows
+		// form a clean three-way sparse ablation against the two below.
 		ih, err := core.Build(g, env.ihtlParams())
 		if err != nil {
 			return nil, err
 		}
-		return core.NewEngineOpts(ih, env.Pool,
-			core.EngineOptions{Phased: kernel == "ihtl-phased"})
+		return core.NewEngineOpts(ih, env.Pool, core.EngineOptions{
+			Phased: kernel == "ihtl-phased", SparseKernel: core.SparsePull,
+		})
+	case "ihtl-pull-degree", "ihtl-pb":
+		ih, err := core.Build(g, env.ihtlParams())
+		if err != nil {
+			return nil, err
+		}
+		k := core.SparsePullDegree
+		if kernel == "ihtl-pb" {
+			k = core.SparsePB
+		}
+		return core.NewEngineOpts(ih, env.Pool, core.EngineOptions{SparseKernel: k})
 	default:
 		return nil, fmt.Errorf("bench: unknown step kernel %q", kernel)
 	}

@@ -53,6 +53,21 @@ type Engine struct {
 	// sparse block.
 	sparseBounds []int
 
+	// sparseKernel is the resolved sparse-block kernel (never
+	// SparseAuto after construction); see sparse.go.
+	sparseKernel SparseKernel
+	// heavyBounds/lightBounds are the SparsePullDegree schedule:
+	// edge-balanced parts over the build-time heavy-row list, and
+	// coarse chunks over the remaining short rows.
+	heavyBounds []int
+	lightBounds []int
+	// pb is the SparsePB bin/drain state; auxSched claims its drain
+	// buckets (and SparsePullDegree's heavy parts); binBarrier
+	// separates the bin and drain phases inside the fused dispatch.
+	pb         *pbState
+	auxSched   *sched.StealScheduler
+	binBarrier *sched.Barrier
+
 	// Fused-dispatch state. flipSched and sparseSched are persistent
 	// per-engine steal schedulers (allocated once, Reset per Step);
 	// blockGate holds one countdown latch per flipped block; dirty
@@ -173,12 +188,16 @@ type healthSlot struct {
 }
 
 // workerClock is one worker's per-phase busy time, padded to a cache
-// line.
+// line. The sparse field covers the pull kernels; the propagation-
+// blocked kernel splits its time into bin and drain instead, so the
+// stepjson per-phase breakdown stays honest for either kernel.
 type workerClock struct {
 	flipped time.Duration
 	merge   time.Duration
 	sparse  time.Duration
-	_       [5]int64
+	bin     time.Duration
+	drain   time.Duration
+	_       [3]int64
 }
 
 // Breakdown accumulates time per Algorithm 3 phase across Steps;
@@ -202,9 +221,21 @@ type Breakdown struct {
 	FlippedBusy time.Duration // Σ workers' in-phase busy time
 	MergeBusy   time.Duration
 	SparseBusy  time.Duration
+	// BinBusy/DrainBusy split the sparse phase of the propagation-
+	// blocked kernel (SparsePB); the pull kernels leave them zero and
+	// record SparseBusy instead.
+	BinBusy   time.Duration
+	DrainBusy time.Duration
 
 	Wall  time.Duration // elapsed time of all Steps
 	Steps int
+}
+
+// SparseTotalBusy returns the summed busy time of the sparse phase
+// under any kernel: the pull kernels' SparseBusy plus the PB kernel's
+// bin and drain halves.
+func (b Breakdown) SparseTotalBusy() time.Duration {
+	return b.SparseBusy + b.BinBusy + b.DrainBusy
 }
 
 // Total returns the elapsed time of all Steps: the measured wall time
@@ -218,7 +249,7 @@ func (b Breakdown) Total() time.Duration {
 
 // TotalBusy returns the summed per-worker busy time across phases.
 func (b Breakdown) TotalBusy() time.Duration {
-	return b.FlippedBusy + b.MergeBusy + b.SparseBusy
+	return b.FlippedBusy + b.MergeBusy + b.SparseTotalBusy()
 }
 
 // FlippedFrac returns the fraction of time spent pushing flipped
@@ -263,6 +294,11 @@ type EngineOptions struct {
 	// is scanned for NaN/±Inf after each (Every-th) step, fused into
 	// the epilogue sweep on the fused pipeline. See spmv.HealthPolicy.
 	Health spmv.HealthPolicy
+	// SparseKernel selects the sparse-block kernel: SparseAuto (the
+	// measured default), SparsePull, SparsePullDegree or SparsePB.
+	// All three produce bit-for-bit identical results; they differ in
+	// memory-access shape and scheduling. See sparse.go.
+	SparseKernel SparseKernel
 }
 
 // NewEngine prepares an Algorithm 3 engine on the given pool with
@@ -289,6 +325,7 @@ func NewEngineOpts(ih *IHTL, pool *sched.Pool, opt EngineOptions) (*Engine, erro
 	if n := ih.NumV - ih.Sparse.DestLo; n > 0 {
 		e.sparseBounds = sched.EdgeBalancedParts(ih.Sparse.Index, pool.Workers()*4)
 	}
+	e.initSparseKernel(opt.SparseKernel)
 	w := pool.Workers()
 	e.flipSched = sched.NewStealScheduler(w)
 	e.sparseSched = sched.NewStealScheduler(w)
@@ -528,6 +565,12 @@ func (e *Engine) recoverState() {
 	if e.clearBarrier != nil {
 		e.clearBarrier.Reset()
 	}
+	if e.binBarrier != nil {
+		// The PB bin cursors need no recovery: every chunk re-stages
+		// its cursors at claim time, so only the abandoned barrier
+		// crossing holds state.
+		e.binBarrier.Reset()
+	}
 	if e.batch != nil {
 		e.batch.recoverState()
 	}
@@ -545,9 +588,7 @@ func (e *Engine) recoverState() {
 func (e *Engine) stepFused(src, dst []float64) {
 	start := time.Now()
 	e.flipSched.Reset(len(e.blockTasks))
-	if n := len(e.sparseBounds) - 1; n > 0 {
-		e.sparseSched.Reset(n)
-	}
+	e.resetSparseScheds()
 	if !e.atomicFlipped {
 		e.blockGate.Reset(e.tasksPerBlock)
 	}
@@ -637,12 +678,10 @@ func (e *Engine) fusedWorkerBuffered(w int) {
 		}
 	}
 	t1 := time.Now()
-	e.sparseWorker(w, src, dst)
-	t2 := time.Now()
 	clk := &e.clocks[w]
 	clk.flipped += t1.Sub(t0) - mergeTime
 	clk.merge += mergeTime
-	clk.sparse += t2.Sub(t1)
+	e.sparseWorker(w, src, dst)
 	e.runEpilogue(w)
 }
 
@@ -736,41 +775,9 @@ func (e *Engine) fusedWorkerAtomic(w int) {
 		}
 	}
 	t2 := time.Now()
-	e.sparseWorker(w, src, dst)
-	t3 := time.Now()
 	clk.flipped += t2.Sub(t1)
-	clk.sparse += t3.Sub(t2)
+	e.sparseWorker(w, src, dst)
 	e.runEpilogue(w)
-}
-
-// sparseWorker drains the sparse-block pull via range stealing over
-// the precomputed edge-balanced partitions. The caller times the whole
-// drain.
-//
-//ihtl:noalloc
-func (e *Engine) sparseWorker(w int, src, dst []float64) {
-	nparts := len(e.sparseBounds) - 1
-	if nparts <= 0 {
-		return
-	}
-	sp := &e.ih.Sparse
-	for !e.pool.Aborted() {
-		lo, hi, ok := e.sparseSched.Next(w, 1)
-		if !ok {
-			return
-		}
-		faultinject.Fire(faultinject.SiteSparsePart)
-		for p := lo; p < hi; p++ {
-			vlo, vhi := e.sparseBounds[p], e.sparseBounds[p+1]
-			for i := vlo; i < vhi; i++ {
-				sum := 0.0
-				for j := sp.Index[i]; j < sp.Index[i+1]; j++ {
-					sum += src[sp.Srcs[j]]
-				}
-				dst[sp.DestLo+i] = sum
-			}
-		}
-	}
 }
 
 // harvestClocks folds the per-worker phase clocks into the breakdown
@@ -784,6 +791,8 @@ func (e *Engine) harvestClocks() {
 		e.breakdown.FlippedBusy += c.flipped
 		e.breakdown.MergeBusy += c.merge
 		e.breakdown.SparseBusy += c.sparse
+		e.breakdown.BinBusy += c.bin
+		e.breakdown.DrainBusy += c.drain
 		*c = workerClock{}
 	}
 }
@@ -857,20 +866,37 @@ func (e *Engine) stepPhased(src, dst []float64) {
 	}
 	t2 := time.Now()
 
-	// Phase 3 — pull traversal of the sparse block (l.8-10).
-	sp := &ih.Sparse
-	nparts := len(e.sparseBounds) - 1
-	if nparts > 0 {
-		e.pool.ForEachPart(nparts, func(w, part int) {
-			lo, hi := e.sparseBounds[part], e.sparseBounds[part+1]
-			for i := lo; i < hi; i++ {
-				sum := 0.0
-				for j := sp.Index[i]; j < sp.Index[i+1]; j++ {
-					sum += src[sp.Srcs[j]]
-				}
-				dst[sp.DestLo+i] = sum
-			}
-		})
+	// Phase 3 — the sparse block under the configured kernel (l.8-10).
+	// The non-pull kernels run their sub-phases as separate dispatches
+	// here (the dispatch boundary is the bin/drain barrier); the fused
+	// pipeline is where they earn their keep.
+	switch e.sparseKernel {
+	case SparsePullDegree:
+		if np := len(e.heavyBounds) - 1; np > 0 {
+			e.pool.ForEachPart(np, func(w, part int) {
+				e.sparseHeavyPart(part, src, dst)
+			})
+		}
+		if np := len(e.lightBounds) - 1; np > 0 {
+			e.pool.ForEachPart(np, func(w, part int) {
+				e.sparseLightPart(part, src, dst)
+			})
+		}
+	case SparsePB:
+		if e.pb != nil {
+			e.pool.ForEachPart(e.pb.numChunks, func(w, c int) {
+				e.pbBinChunk(c, src)
+			})
+			e.pool.ForEachPart(e.pb.numBuckets, func(w, b int) {
+				e.pbDrainBucket(b, dst)
+			})
+		}
+	default:
+		if nparts := len(e.sparseBounds) - 1; nparts > 0 {
+			e.pool.ForEachPart(nparts, func(w, part int) {
+				e.sparsePullRange(e.sparseBounds[part], e.sparseBounds[part+1], src, dst)
+			})
+		}
 	}
 	t3 := time.Now()
 

@@ -36,6 +36,10 @@ type batchState struct {
 	// hubClearBounds are lane-aligned flat bounds over [0, NumHubs*k)
 	// for the AtomicFlipped path's cooperative clear.
 	hubClearBounds []int
+	// binVals are the K-wide bin contributions of the SparsePB kernel
+	// (slot p's lanes at [p*k, (p+1)*k)); the slot offsets, cursors and
+	// row array are shared with the scalar pbState.
+	binVals []float64
 	// fusedJob is the prebuilt worker body, so a fused StepBatch
 	// allocates nothing.
 	fusedJob func(w int)
@@ -65,6 +69,9 @@ func (e *Engine) ensureBatch(k int) *batchState {
 		}
 		b.dirty = make([]dirtyRange, w*len(e.ih.Blocks))
 		b.fusedJob = func(worker int) { e.fusedWorkerBufferedBatch(b, worker) }
+	}
+	if e.pb != nil {
+		b.binVals = make([]float64, len(e.pb.binRows)*k)
 	}
 	e.batch = b
 	return b
@@ -175,9 +182,7 @@ func (b *batchState) recoverState() {
 func (e *Engine) stepFusedBatch(b *batchState, src, dst []float64) {
 	start := time.Now()
 	e.flipSched.Reset(len(e.blockTasks))
-	if n := len(e.sparseBounds) - 1; n > 0 {
-		e.sparseSched.Reset(n)
-	}
+	e.resetSparseScheds()
 	if !e.atomicFlipped {
 		e.blockGate.Reset(e.tasksPerBlock)
 	}
@@ -254,12 +259,10 @@ func (e *Engine) fusedWorkerBufferedBatch(b *batchState, w int) {
 		}
 	}
 	t1 := time.Now()
-	e.sparseWorkerBatch(w, k, src, dst)
-	t2 := time.Now()
 	clk := &e.clocks[w]
 	clk.flipped += t1.Sub(t0) - mergeTime
 	clk.merge += mergeTime
-	clk.sparse += t2.Sub(t1)
+	e.sparseWorkerBatch(b, w, src, dst)
 	e.runEpilogue(w)
 }
 
@@ -335,48 +338,9 @@ func (e *Engine) fusedWorkerAtomicBatch(b *batchState, w int) {
 		}
 	}
 	t2 := time.Now()
-	e.sparseWorkerBatch(w, k, src, dst)
-	t3 := time.Now()
 	clk.flipped += t2.Sub(t1)
-	clk.sparse += t3.Sub(t2)
+	e.sparseWorkerBatch(b, w, src, dst)
 	e.runEpilogue(w)
-}
-
-// sparseWorkerBatch drains the sparse-block pull with K partial sums
-// accumulated in place in dst's contiguous lane row, which each
-// destination owns exclusively.
-//
-//ihtl:noalloc
-func (e *Engine) sparseWorkerBatch(w, k int, src, dst []float64) {
-	nparts := len(e.sparseBounds) - 1
-	if nparts <= 0 {
-		return
-	}
-	sp := &e.ih.Sparse
-	for !e.pool.Aborted() {
-		lo, hi, ok := e.sparseSched.Next(w, 1)
-		if !ok {
-			return
-		}
-		faultinject.Fire(faultinject.SiteSparsePart)
-		for p := lo; p < hi; p++ {
-			vlo, vhi := e.sparseBounds[p], e.sparseBounds[p+1]
-			for i := vlo; i < vhi; i++ {
-				db := (sp.DestLo + i) * k
-				out := dst[db : db+k : db+k]
-				for j := range out {
-					out[j] = 0
-				}
-				for jj := sp.Index[i]; jj < sp.Index[i+1]; jj++ {
-					sb := int(sp.Srcs[jj]) * k
-					xs := src[sb : sb+k : sb+k]
-					for j, x := range xs {
-						out[j] += x
-					}
-				}
-			}
-		}
-	}
 }
 
 // stepPhasedBatch is the pre-fusion three-dispatch pipeline with
@@ -452,27 +416,34 @@ func (e *Engine) stepPhasedBatch(b *batchState, src, dst []float64) {
 	}
 	t2 := time.Now()
 
-	// Phase 3 — K-wide pull traversal of the sparse block.
-	sp := &ih.Sparse
-	nparts := len(e.sparseBounds) - 1
-	if nparts > 0 {
-		e.pool.ForEachPart(nparts, func(w, part int) {
-			lo, hi := e.sparseBounds[part], e.sparseBounds[part+1]
-			for i := lo; i < hi; i++ {
-				db := (sp.DestLo + i) * k
-				out := dst[db : db+k : db+k]
-				for j := range out {
-					out[j] = 0
-				}
-				for jj := sp.Index[i]; jj < sp.Index[i+1]; jj++ {
-					sb := int(sp.Srcs[jj]) * k
-					xs := src[sb : sb+k : sb+k]
-					for j, x := range xs {
-						out[j] += x
-					}
-				}
-			}
-		})
+	// Phase 3 — the K-wide sparse block under the configured kernel.
+	switch e.sparseKernel {
+	case SparsePullDegree:
+		if np := len(e.heavyBounds) - 1; np > 0 {
+			e.pool.ForEachPart(np, func(w, part int) {
+				e.sparseHeavyPartBatch(k, part, src, dst)
+			})
+		}
+		if np := len(e.lightBounds) - 1; np > 0 {
+			e.pool.ForEachPart(np, func(w, part int) {
+				e.sparseLightPartBatch(k, part, src, dst)
+			})
+		}
+	case SparsePB:
+		if e.pb != nil {
+			e.pool.ForEachPart(e.pb.numChunks, func(w, c int) {
+				e.pbBinChunkBatch(b, c, src)
+			})
+			e.pool.ForEachPart(e.pb.numBuckets, func(w, bkt int) {
+				e.pbDrainBucketBatch(b, bkt, dst)
+			})
+		}
+	default:
+		if nparts := len(e.sparseBounds) - 1; nparts > 0 {
+			e.pool.ForEachPart(nparts, func(w, part int) {
+				e.sparsePullRangeBatch(k, e.sparseBounds[part], e.sparseBounds[part+1], src, dst)
+			})
+		}
 	}
 	t3 := time.Now()
 

@@ -1,0 +1,64 @@
+package core
+
+import "ihtl/internal/spmv"
+
+// BytesPerStep returns the modelled bytes one scalar Step touches: the
+// flipped blocks' footprints (topology streams once, vertex-data
+// accesses per access, hub-buffer merge traffic per worker) plus the
+// configured sparse kernel's footprint. The model matches
+// spmv.Engine.BytesPerStep — topology index entries are 8 bytes,
+// vertex IDs 4, vertex data spmv.VertexBytes — so the step report's
+// bytes_per_edge column is comparable across baseline and iHTL
+// kernels.
+func (e *Engine) BytesPerStep() int64 {
+	ih := e.ih
+	const vb = int64(spmv.VertexBytes)
+	W := int64(e.pool.Workers())
+	var total int64
+
+	// Flipped blocks: per block, the sub-CSR stream, one sequential
+	// src read per block source, one buffered write per edge, and the
+	// countdown-gated merge (W buffer reads + 1 dst write per hub of
+	// the block, plus the clears of the dirtied buffer ranges).
+	for b := range ih.Blocks {
+		blk := &ih.Blocks[b]
+		nsrc := int64(len(blk.Index) - 1)
+		edges := blk.NumEdges()
+		hubs := int64(ih.HubsPerBlock)
+		if rem := int64(ih.NumHubs) - int64(b)*hubs; rem < hubs {
+			hubs = rem
+		}
+		total += 8*(nsrc+1) + 4*edges  // block CSR
+		total += vb * nsrc             // sequential src reads
+		total += vb * edges            // cache-resident buffer updates
+		total += (2*W + 1) * vb * hubs // clear + merge reads + dst write
+	}
+
+	// Sparse block, by kernel.
+	sp := &ih.Sparse
+	n := int64(ih.NumV) - int64(sp.DestLo)
+	if n <= 0 {
+		return total
+	}
+	Es := sp.NumEdges()
+	switch e.sparseKernel {
+	case SparsePB:
+		if e.pb == nil {
+			return total
+		}
+		segs := int64(len(e.pb.binCur))
+		total += 8*int64(len(e.pb.pushIndex)) + 4*Es // transposed CSR
+		total += vb * int64(ih.NumV)                 // sequential src sweep
+		total += 2 * 12 * Es                         // bin writes + drain reads
+		total += 2 * 8 * segs                        // cursor staging + reads
+		total += 2 * vb * n                          // dst clear + accumulate
+	default:
+		// Uniform and degree-aware pull share the same traffic; the
+		// heavy list adds 4 bytes per heavy row.
+		total += 8*(n+1) + 4*Es // sparse CSC
+		total += vb * Es        // random src reads
+		total += vb * n         // dst writes
+		total += 4 * int64(len(sp.Heavy))
+	}
+	return total
+}

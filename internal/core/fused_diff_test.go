@@ -233,6 +233,16 @@ func FuzzStepDifferential(f *testing.F) {
 			t.Fatal(err)
 		}
 		requireBitIdentical(t, "phased", want, stepOldSpace(ih, phased, src))
+		degree, err := NewEngineOpts(ih, pool, EngineOptions{SparseKernel: SparsePullDegree})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireBitIdentical(t, "pull-degree", want, stepOldSpace(ih, degree, src))
+		pb, err := NewEngineOpts(ih, pool, EngineOptions{SparseKernel: SparsePB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireBitIdentical(t, "pb", want, stepOldSpace(ih, pb, src))
 
 		// Second pass with signed values and -0.0 entries: the skip
 		// predicates must keep every engine bit-identical (see signedVec).
@@ -240,6 +250,8 @@ func FuzzStepDifferential(f *testing.F) {
 		pe.Step(srcSigned, want)
 		requireBitIdentical(t, "fused signed", want, stepOldSpace(ih, fused, srcSigned))
 		requireBitIdentical(t, "phased signed", want, stepOldSpace(ih, phased, srcSigned))
+		requireBitIdentical(t, "pull-degree signed", want, stepOldSpace(ih, degree, srcSigned))
+		requireBitIdentical(t, "pb signed", want, stepOldSpace(ih, pb, srcSigned))
 	})
 }
 

@@ -39,6 +39,12 @@ const (
 	// SiteSparsePart fires once per sparse-block chunk in the fused
 	// iHTL workers.
 	SiteSparsePart Site = "core.sparse-part"
+	// SiteSparseBin fires once per claimed source chunk of the
+	// propagation-blocked sparse kernel's bin phase.
+	SiteSparseBin Site = "core.sparse-bin"
+	// SiteSparseDrain fires once per claimed destination bucket of the
+	// propagation-blocked sparse kernel's drain phase.
+	SiteSparseDrain Site = "core.sparse-drain"
 	// SiteMergeBlock fires once per flipped-block merge (the countdown
 	// release path).
 	SiteMergeBlock Site = "core.merge-block"

@@ -34,6 +34,39 @@ func EdgeBalancedParts(index []int64, nparts int) []int {
 	return bounds
 }
 
+// EdgeBalancedPartsList is EdgeBalancedParts over an arbitrary ROW
+// LIST instead of the full vertex range: rows are indices into the
+// CSR/CSC offset array index, and the list is split into nparts
+// contiguous sub-lists with approximately equal total edge counts.
+// The degree-aware sparse schedule uses it to cut the heavy-row list
+// into stealable parts whose work is balanced by edges, not rows —
+// a handful of mega-degree rows otherwise serialise behind one worker.
+//
+// The returned slice has nparts+1 list positions, with bounds[0]==0
+// and bounds[nparts]==len(rows).
+func EdgeBalancedPartsList(index []int64, rows []int32, nparts int) []int {
+	if nparts < 1 {
+		panic("sched: nparts must be >= 1")
+	}
+	n := len(rows)
+	prefix := make([]int64, n+1)
+	for i, r := range rows {
+		prefix[i+1] = prefix[i] + index[r+1] - index[r]
+	}
+	total := prefix[n]
+	bounds := make([]int, nparts+1)
+	bounds[nparts] = n
+	for p := 1; p < nparts; p++ {
+		target := total * int64(p) / int64(nparts)
+		v := sort.Search(n, func(i int) bool { return prefix[i] >= target })
+		if v < bounds[p-1] {
+			v = bounds[p-1]
+		}
+		bounds[p] = v
+	}
+	return bounds
+}
+
 // VertexBalancedParts splits [0, n) into nparts contiguous ranges of
 // near-equal vertex counts, returning nparts+1 boundaries.
 func VertexBalancedParts(n, nparts int) []int {

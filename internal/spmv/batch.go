@@ -53,6 +53,10 @@ func (e *Engine) StepBatch(src, dst []float64, k int) {
 	case PushPartitioned:
 		e.zeroDst()
 		e.forParts(e.parts.NumParts(), e.partBatchJob)
+	case PropBlocked:
+		e.pb.pbBatchVals(k)
+		e.forParts(e.pb.numChunks, e.binBatchJob)
+		e.forParts(e.pb.numBuckets, e.drainBatchJob)
 	}
 	e.curSrc, e.curDst, e.curK = nil, nil, 0
 }
