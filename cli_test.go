@@ -52,6 +52,25 @@ func TestCLIPipeline(t *testing.T) {
 	if !strings.Contains(out, "built iHTL graph") {
 		t.Fatalf("ihtlconvert output: %s", out)
 	}
+	// Upgrade the v1 engine file to the mmap-friendly v2 layout; the
+	// varint sections must come out smaller than the flat v1 adjacency.
+	ihtl2Path := filepath.Join(dir, "g.ihtl2")
+	out = run("ihtlconvert", "-i", ihtlPath, "-from", "ihtl", "-to", "ihtlv2", "-o", ihtl2Path)
+	if !strings.Contains(out, "iHTL graph") {
+		t.Fatalf("ihtlconvert -from ihtl output: %s", out)
+	}
+	v1Info, err := os.Stat(ihtlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2Info, err := os.Stat(ihtl2Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2Info.Size() >= v1Info.Size() {
+		t.Fatalf("v2 engine file %d B >= v1 %d B", v2Info.Size(), v1Info.Size())
+	}
+
 	flatInfo, err := os.Stat(graphPath)
 	if err != nil {
 		t.Fatal(err)

@@ -9,7 +9,12 @@
 //	ihtlconvert -i snap.txt -from edgelist -o graph.bin
 //	ihtlconvert -i graph.bin -to compressed -o graph.cbin
 //	ihtlconvert -i graph.bin -to ihtl -o graph.ihtl -hubs-per-block 4096
+//	ihtlconvert -i graph.bin -to ihtlv2 -o graph.ihtl2
+//	ihtlconvert -i graph.ihtl -from ihtl -to ihtlv2 -o graph.ihtl2
 //	ihtlconvert -i graph.bin -to edgelist -o graph.txt
+//
+// -from ihtl reads a serialised engine file of either version, so old
+// v1 binaries upgrade to the mmap-friendly v2 layout in one pass.
 package main
 
 import (
@@ -26,8 +31,8 @@ func main() {
 	var (
 		in   = flag.String("i", "", "input path")
 		out  = flag.String("o", "", "output path")
-		from = flag.String("from", "auto", "input format: auto | edgelist")
-		to   = flag.String("to", "flat", "output format: flat | compressed | edgelist | ihtl")
+		from = flag.String("from", "auto", "input format: auto | edgelist | ihtl")
+		to   = flag.String("to", "flat", "output format: flat | compressed | edgelist | ihtl | ihtlv2")
 		hpb  = flag.Int("hubs-per-block", 0, "iHTL hubs per flipped block (0 = paper default)")
 	)
 	flag.Parse()
@@ -36,6 +41,7 @@ func main() {
 	}
 
 	var g *graph.Graph
+	var ih *core.IHTL
 	var err error
 	switch *from {
 	case "auto":
@@ -47,13 +53,36 @@ func main() {
 		}
 		g, _, err = graph.ReadEdgeList(f)
 		f.Close()
+	case "ihtl":
+		ih, err = core.LoadFile(*in)
 	default:
 		err = fmt.Errorf("unknown input format %q", *from)
 	}
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("loaded %s: %d vertices, %d edges\n", *in, g.NumV, g.NumE)
+	if ih != nil {
+		fmt.Printf("loaded %s: iHTL graph, %d vertices, %d edges, %d blocks\n", *in, ih.NumV, ih.NumE, len(ih.Blocks))
+		if *to != "ihtl" && *to != "ihtlv2" {
+			fatal(fmt.Errorf("-from ihtl supports only -to ihtl or -to ihtlv2, not %q", *to))
+		}
+	} else {
+		fmt.Printf("loaded %s: %d vertices, %d edges\n", *in, g.NumV, g.NumE)
+	}
+	buildIHTL := func() *core.IHTL {
+		if ih != nil {
+			return ih
+		}
+		start := time.Now()
+		built, berr := core.Build(g, core.Params{HubsPerBlock: *hpb})
+		if berr != nil {
+			fatal(berr)
+		}
+		fmt.Printf("built iHTL graph in %.1f ms: %d blocks, %d hubs, %.1f%% flipped edges\n",
+			time.Since(start).Seconds()*1000, len(built.Blocks), built.NumHubs,
+			100*float64(built.FlippedEdges())/float64(max64(1, built.NumE)))
+		return built
+	}
 
 	switch *to {
 	case "flat":
@@ -70,15 +99,11 @@ func main() {
 			}
 		}
 	case "ihtl":
-		start := time.Now()
-		ih, berr := core.Build(g, core.Params{HubsPerBlock: *hpb})
-		if berr != nil {
-			fatal(berr)
-		}
-		fmt.Printf("built iHTL graph in %.1f ms: %d blocks, %d hubs, %.1f%% flipped edges\n",
-			time.Since(start).Seconds()*1000, len(ih.Blocks), ih.NumHubs,
-			100*float64(ih.FlippedEdges())/float64(max64(1, ih.NumE)))
-		err = ih.SaveFile(*out)
+		b := buildIHTL()
+		b.EnsureFlatTopology() // the v1 format stores the flat adjacency
+		err = b.SaveFile(*out)
+	case "ihtlv2":
+		err = buildIHTL().SaveFileV2(*out)
 	default:
 		err = fmt.Errorf("unknown output format %q", *to)
 	}

@@ -95,6 +95,38 @@ const (
 // "pull-degree", "pb") as used by the CLI -sparse flags.
 func ParseSparseKernel(s string) (SparseKernel, error) { return core.ParseSparseKernel(s) }
 
+// BlockEncoding selects how the engine stores and traverses block
+// adjacency via EngineOptions.BlockEncoding; see the constants below.
+type BlockEncoding = core.BlockEncoding
+
+// Block encodings: auto (flat when the flat arrays are resident,
+// varint for engines over graphs loaded encoded-only from a v2 engine
+// file), the flat uint32 adjacency arrays, and the chunked varint-gap
+// encoding decoded into per-worker scratch inside the fused dispatch.
+// Both encodings produce bit-for-bit identical results under every
+// pipeline; they differ only in resident footprint and stream width.
+const (
+	EncodingAuto   = core.EncodingAuto
+	EncodingFlat   = core.EncodingFlat
+	EncodingVarint = core.EncodingVarint
+)
+
+// ParseBlockEncoding parses a block-encoding name ("auto", "flat",
+// "varint") as used by the CLI -encoding flags.
+func ParseBlockEncoding(s string) (BlockEncoding, error) { return core.ParseBlockEncoding(s) }
+
+// EngineFile is a serialised iHTL graph opened by OpenEngineFile —
+// memory-mapped when the file is in the v2 segment format and the
+// platform allows it, resident otherwise. Close releases the mapping;
+// the IHTL (and engines over it) must not be used afterwards.
+type EngineFile = core.EngineFile
+
+// OpenEngineFile opens a serialised iHTL graph (either on-disk
+// version). v2 files map lazily: the topology pages in on demand and
+// engines resolve BlockEncoding auto to varint, so a billion-edge
+// graph opens without materialising flat adjacency.
+func OpenEngineFile(path string) (*EngineFile, error) { return core.OpenEngineFile(path) }
+
 // HealthPolicy configures the opt-in numeric watchdog: the SpMV
 // result vector is scanned for NaN/±Inf after each (Every-th) Step,
 // fused into the engine's epilogue sweep.

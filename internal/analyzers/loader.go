@@ -3,6 +3,7 @@ package analyzers
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -139,7 +140,11 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	return p, nil
 }
 
-// parseDir parses the non-test Go files of dir with comments.
+// parseDir parses the non-test Go files of dir with comments. Files
+// excluded from the host platform's build by //go:build or filename
+// constraints (e.g. the !unix mmap fallback) are skipped, matching
+// what `go build` would compile — otherwise platform-variant pairs
+// would redeclare their shared symbols under the type checker.
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -150,6 +155,9 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 		n := e.Name()
 		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
 			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, n); err != nil || !ok {
 			continue
 		}
 		names = append(names, n)

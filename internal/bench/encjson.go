@@ -1,0 +1,197 @@
+package bench
+
+// Flat-vs-varint encoding ablation (ihtlbench -encjson): for each
+// dataset, the same iHTL graph is stepped under both block encodings
+// and the per-edge topology stream, resident footprint, and step time
+// are recorded side by side — the measurement backing the compressed
+// block representation's acceptance figures (results/BENCH_compress.json).
+// The report also compares heap residency of a memory-mapped v2 engine
+// file against the resident v1 loader on the scale-18 R-MAT.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"ihtl/internal/core"
+)
+
+// EncResult is one (dataset, encoding) measurement.
+type EncResult struct {
+	Dataset  string `json:"dataset"`
+	Encoding string `json:"encoding"`
+	Vertices int    `json:"vertices"`
+	Edges    int64  `json:"edges"`
+
+	NsPerStep int64   `json:"ns_per_step"`
+	NsPerEdge float64 `json:"ns_per_edge"`
+
+	// BytesPerEdge is the modelled topology stream of one Step divided
+	// by the edge count (core.Engine.TopologyBytesPerStep). Vertex-data
+	// traffic is identical under both encodings and deliberately
+	// excluded, so the flat:varint ratio of this column IS the topology
+	// compression ratio on the hot path.
+	BytesPerEdge float64 `json:"bytes_per_edge"`
+	// ResidentBytes is the topology the engine keeps addressable
+	// (core.Engine.ResidentTopologyBytes).
+	ResidentBytes int64 `json:"resident_bytes"`
+	// CompressionRatio is flat BytesPerEdge over this row's (varint
+	// rows only; 0 on flat rows).
+	CompressionRatio float64 `json:"compression_ratio,omitempty"`
+}
+
+// EncMmap compares the Go-heap residency of opening a serialised
+// engine: the v1 resident decoder against the v2 mmap-backed loader on
+// the same graph. Mapped pages live in the page cache, not the heap,
+// so MmapHeapBytes staying far below FlatHeapBytes is the "open
+// lazily without doubling RSS" acceptance signal.
+type EncMmap struct {
+	Dataset       string `json:"dataset"`
+	Vertices      int    `json:"vertices"`
+	Edges         int64  `json:"edges"`
+	V1FileBytes   int64  `json:"v1_file_bytes"`
+	V2FileBytes   int64  `json:"v2_file_bytes"`
+	FlatHeapBytes int64  `json:"flat_heap_bytes"`
+	MmapHeapBytes int64  `json:"mmap_heap_bytes"`
+	Mapped        bool   `json:"mapped"`
+}
+
+// EncReport is the machine-readable encoding-ablation report
+// (conventionally results/BENCH_compress.json).
+type EncReport struct {
+	Workers    int         `json:"workers"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Iters      int         `json:"iters"`
+	Results    []EncResult `json:"results"`
+	Mmap       *EncMmap    `json:"mmap,omitempty"`
+}
+
+// RunEncJSON measures every dataset under both encodings and appends
+// the scale-18 mmap comparison.
+func RunEncJSON(env *Env, datasets []*Dataset) (*EncReport, error) {
+	rep := &EncReport{
+		Workers:    env.Pool.Workers(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Iters:      env.Iters,
+	}
+	for _, d := range datasets {
+		g, err := d.Load()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", d.Name, err)
+		}
+		ih, err := core.Build(g, env.ihtlParams())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", d.Name, err)
+		}
+		var flatBPE float64
+		for _, enc := range []core.BlockEncoding{core.EncodingFlat, core.EncodingVarint} {
+			e, err := core.NewEngineOpts(ih, env.Pool, core.EngineOptions{BlockEncoding: enc})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", d.Name, enc, err)
+			}
+			ns := stepTime(e, env.Iters).Nanoseconds()
+			res := EncResult{
+				Dataset:       d.Name,
+				Encoding:      enc.String(),
+				Vertices:      g.NumV,
+				Edges:         g.NumE,
+				NsPerStep:     ns,
+				NsPerEdge:     float64(ns) / float64(g.NumE),
+				BytesPerEdge:  float64(e.TopologyBytesPerStep()) / float64(g.NumE),
+				ResidentBytes: e.ResidentTopologyBytes(),
+			}
+			if enc == core.EncodingFlat {
+				flatBPE = res.BytesPerEdge
+			} else if res.BytesPerEdge > 0 {
+				res.CompressionRatio = flatBPE / res.BytesPerEdge
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	mm, err := runEncMmap(env)
+	if err != nil {
+		return nil, err
+	}
+	rep.Mmap = mm
+	return rep, nil
+}
+
+// runEncMmap serialises the scale-18 R-MAT engine in both formats and
+// measures the Go-heap cost of re-opening each.
+func runEncMmap(env *Env) (*EncMmap, error) {
+	d := BatchSweepRegistry()[0] // the scale-18 R-MAT acceptance graph
+	g, err := d.Load()
+	if err != nil {
+		return nil, err
+	}
+	ih, err := core.Build(g, env.ihtlParams())
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "ihtlenc")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	v1 := filepath.Join(dir, "g.ihtl")
+	v2 := filepath.Join(dir, "g.ihtl2")
+	if err := ih.SaveFile(v1); err != nil {
+		return nil, err
+	}
+	if err := ih.SaveFileV2(v2); err != nil {
+		return nil, err
+	}
+	mm := &EncMmap{Dataset: d.Name, Vertices: g.NumV, Edges: g.NumE}
+	for path, size := range map[string]*int64{v1: &mm.V1FileBytes, v2: &mm.V2FileBytes} {
+		st, err := os.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		*size = st.Size()
+	}
+
+	var loaded *core.IHTL
+	flat, err := heapDelta(func() error {
+		loaded, err = core.LoadFile(v1)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	runtime.KeepAlive(loaded)
+	loaded = nil
+	mm.FlatHeapBytes = flat
+
+	var ef *core.EngineFile
+	mapped, err := heapDelta(func() error {
+		ef, err = core.OpenEngineFile(v2)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	mm.MmapHeapBytes = mapped
+	mm.Mapped = ef.Mapped()
+	ef.Close()
+	return mm, nil
+}
+
+// heapDelta runs fn between two GC-settled heap readings and returns
+// how much live heap it added.
+func heapDelta(fn func() error) (int64, error) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	return int64(m1.HeapAlloc) - int64(m0.HeapAlloc), nil
+}
+
+// WriteEncJSON writes the report as indented JSON.
+func WriteEncJSON(path string, rep *EncReport) error {
+	return writeJSON(path, rep)
+}

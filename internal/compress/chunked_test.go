@@ -1,0 +1,294 @@
+package compress
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// randomAdj builds a random sorted adjacency for property tests.
+func randomAdj(degsRaw []uint8, seed uint32, gapMod uint32) ([]int64, []uint32) {
+	index := []int64{0}
+	var nbrs []uint32
+	x := seed
+	for _, dr := range degsRaw {
+		deg := int(dr % 17)
+		cur := uint32(0)
+		for i := 0; i < deg; i++ {
+			x = x*1664525 + 1013904223
+			cur += x % gapMod
+			nbrs = append(nbrs, cur)
+		}
+		index = append(index, index[len(index)-1]+int64(deg))
+	}
+	return index, nbrs
+}
+
+func chunkedRoundTrip(t *testing.T, index []int64, nbrs []uint32, target int) {
+	t.Helper()
+	ck := EncodeChunked(index, nbrs, target)
+	maxDst := uint32(1)
+	for _, d := range nbrs {
+		if d >= maxDst {
+			maxDst = d + 1
+		}
+	}
+	if err := ck.Validate(maxDst); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if ck.NumSrc != len(index)-1 || ck.NumEdges != int64(len(nbrs)) {
+		t.Fatalf("shape %d/%d, want %d/%d", ck.NumSrc, ck.NumEdges, len(index)-1, len(nbrs))
+	}
+	sIdx := make([]int32, ck.MaxSrcs+1)
+	dsts := make([]uint32, ck.MaxEdges)
+	var gotE int64
+	for c := 0; c < ck.Chunks(); c++ {
+		nsrc, ne := ck.DecodeChunkCSR(c, sIdx, dsts)
+		if nsrc != int(ck.SrcOff[c+1]-ck.SrcOff[c]) {
+			t.Fatalf("chunk %d rows %d, want %d", c, nsrc, ck.SrcOff[c+1]-ck.SrcOff[c])
+		}
+		base := int(ck.SrcOff[c])
+		for s := 0; s < nsrc; s++ {
+			gLo, gHi := index[base+s], index[base+s+1]
+			lLo, lHi := sIdx[s], sIdx[s+1]
+			if int64(lHi-lLo) != gHi-gLo {
+				t.Fatalf("chunk %d row %d degree %d, want %d", c, s, lHi-lLo, gHi-gLo)
+			}
+			for i := int64(0); i < gHi-gLo; i++ {
+				if dsts[int64(lLo)+i] != nbrs[gLo+i] {
+					t.Fatalf("chunk %d row %d nbr %d = %d, want %d",
+						c, s, i, dsts[int64(lLo)+i], nbrs[gLo+i])
+				}
+			}
+		}
+		gotE += int64(ne)
+	}
+	if gotE != int64(len(nbrs)) {
+		t.Fatalf("decoded %d edges, want %d", gotE, len(nbrs))
+	}
+}
+
+func TestChunkedRoundTrip(t *testing.T) {
+	chunkedRoundTrip(t, []int64{0}, nil, 0)
+	chunkedRoundTrip(t, []int64{0, 0, 0, 0}, nil, 2)
+	chunkedRoundTrip(t, []int64{0, 3}, []uint32{1, 5, 9}, 1)
+	chunkedRoundTrip(t, []int64{0, 2, 2, 5}, []uint32{0, 7, 1, 2, 4_000_000_000}, 2)
+
+	// A row whose degree exceeds the target must become its own chunk.
+	idx := []int64{0, 1, 9, 10}
+	nbrs := []uint32{3, 0, 1, 2, 3, 4, 5, 6, 7, 9}
+	ck := EncodeChunked(idx, nbrs, 4)
+	if ck.MaxEdges < 8 {
+		t.Fatalf("oversized row not reflected in MaxEdges: %d", ck.MaxEdges)
+	}
+	chunkedRoundTrip(t, idx, nbrs, 4)
+}
+
+func TestChunkedBoundsRespectTarget(t *testing.T) {
+	index := make([]int64, 1001)
+	var nbrs []uint32
+	for v := 0; v < 1000; v++ {
+		for k := 0; k < 7; k++ {
+			nbrs = append(nbrs, uint32(v+k))
+		}
+		index[v+1] = int64(len(nbrs))
+	}
+	const target = 64
+	ck := EncodeChunked(index, nbrs, target)
+	if ck.MaxEdges > target {
+		t.Fatalf("MaxEdges %d exceeds target %d with no oversized row", ck.MaxEdges, target)
+	}
+	if ck.MaxSrcs > target {
+		t.Fatalf("MaxSrcs %d exceeds target %d", ck.MaxSrcs, target)
+	}
+	if ck.Chunks() < len(nbrs)/target {
+		t.Fatalf("too few chunks: %d", ck.Chunks())
+	}
+	chunkedRoundTrip(t, index, nbrs, target)
+}
+
+func TestChunkedProperty(t *testing.T) {
+	f := func(degsRaw []uint8, seed uint32, targetRaw uint8) bool {
+		index, nbrs := randomAdj(degsRaw, seed, 1000)
+		target := int(targetRaw%40) + 1
+		ck := EncodeChunked(index, nbrs, target)
+		maxDst := uint32(1)
+		for _, d := range nbrs {
+			if d >= maxDst {
+				maxDst = d + 1
+			}
+		}
+		if err := ck.Validate(maxDst); err != nil {
+			return false
+		}
+		sIdx := make([]int32, ck.MaxSrcs+1)
+		dsts := make([]uint32, ck.MaxEdges)
+		pos := 0
+		for c := 0; c < ck.Chunks(); c++ {
+			_, ne := ck.DecodeChunkCSR(c, sIdx, dsts)
+			for i := 0; i < ne; i++ {
+				if dsts[i] != nbrs[pos] {
+					return false
+				}
+				pos++
+			}
+		}
+		return pos == len(nbrs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkedValidateRejects(t *testing.T) {
+	idx := []int64{0, 2, 4}
+	nbrs := []uint32{1, 5, 0, 9}
+	good := func() *Chunked { return EncodeChunked(idx, nbrs, 2) }
+
+	if err := good().Validate(10); err != nil {
+		t.Fatalf("good chunked rejected: %v", err)
+	}
+	// Neighbour out of range.
+	if err := good().Validate(5); err == nil {
+		t.Error("out-of-range neighbour accepted")
+	}
+	// Truncated data.
+	ck := good()
+	ck.Data = ck.Data[:len(ck.Data)-1]
+	if err := ck.Validate(10); err == nil {
+		t.Error("truncated data accepted")
+	}
+	// Trailing bytes inside a chunk.
+	ck = good()
+	ck.Data = append(ck.Data, 0)
+	ck.ByteOff[len(ck.ByteOff)-1]++
+	if err := ck.Validate(10); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Mismatched totals.
+	ck = good()
+	ck.NumEdges++
+	if err := ck.Validate(10); err == nil {
+		t.Error("edge-total mismatch accepted")
+	}
+	ck = good()
+	ck.NumSrc++
+	if err := ck.Validate(10); err == nil {
+		t.Error("row-total mismatch accepted")
+	}
+	// Hostile scratch bounds.
+	ck = good()
+	ck.MaxEdges = -1
+	if err := ck.Validate(10); err == nil {
+		t.Error("negative MaxEdges accepted")
+	}
+	ck = good()
+	ck.MaxSrcs = 0
+	if err := ck.Validate(10); err == nil {
+		t.Error("understated MaxSrcs accepted")
+	}
+	// Non-monotone byte table.
+	ck = good()
+	if ck.Chunks() >= 2 {
+		ck.ByteOff[1] = ck.ByteOff[2] + 1
+		if err := ck.Validate(10); err == nil {
+			t.Error("non-monotone ByteOff accepted")
+		}
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	cases := [][]int64{
+		{},
+		{0},
+		{0, 0, 0},
+		{0, 3, 3, 7, 1 << 40},
+		{5, 5, 6},
+	}
+	for _, idx := range cases {
+		enc := EncodeIndex(idx)
+		got, err := DecodeIndex(enc, len(idx))
+		if err != nil {
+			t.Fatalf("%v: %v", idx, err)
+		}
+		for i := range idx {
+			if got[i] != idx[i] {
+				t.Fatalf("%v: got %v", idx, got)
+			}
+		}
+	}
+}
+
+func TestDecodeIndexRejects(t *testing.T) {
+	enc := EncodeIndex([]int64{0, 3, 7})
+	if _, err := DecodeIndex(enc[:len(enc)-1], 3); err == nil {
+		t.Error("truncated index accepted")
+	}
+	if _, err := DecodeIndex(append(enc, 0), 3); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := DecodeIndex(enc, 1<<30); err == nil {
+		t.Error("hostile length accepted")
+	}
+	if _, err := DecodeIndex([]byte{0xFF}, 1); err == nil {
+		t.Error("bare continuation byte accepted")
+	}
+	// Running sum overflowing int64.
+	bad := EncodeIndex([]int64{1 << 62})
+	bad = append(bad, EncodeIndex([]int64{1 << 62})...)
+	bad = append(bad, EncodeIndex([]int64{1 << 62})...)
+	if _, err := DecodeIndex(bad, 3); err == nil {
+		t.Error("int64 overflow accepted")
+	}
+}
+
+// TestEncodeCapacityNoGrow pins the satellite fix: the sampled
+// capacity estimate must cover sorted locality-friendly inputs in one
+// allocation (no append grow), while staying within 2x of the actual
+// encoded size (no return to the flat 2·E+V over-reserve).
+func TestEncodeCapacityNoGrow(t *testing.T) {
+	n := 4000
+	index := make([]int64, n+1)
+	var nbrs []uint32
+	x := uint32(12345)
+	for v := 0; v < n; v++ {
+		deg := 5 + int(x%32)
+		x = x*1664525 + 1013904223
+		cur := uint32(v)
+		for k := 0; k < deg; k++ {
+			x = x*1664525 + 1013904223
+			cur += x % 64
+			nbrs = append(nbrs, cur)
+		}
+		index[v+1] = int64(len(nbrs))
+	}
+	est := estimateAdjCap(index, nbrs)
+	enc := EncodeAdjacency(index, nbrs)
+	if len(enc) > est {
+		t.Fatalf("estimate %d below encoded size %d: encode grew", est, len(enc))
+	}
+	if cap(enc) != est {
+		t.Fatalf("encode grew: cap %d, initial estimate %d", cap(enc), est)
+	}
+	if est > 2*len(enc)+64 {
+		t.Fatalf("estimate %d wastes >2x over %d encoded bytes", est, len(enc))
+	}
+}
+
+func TestEstimateDegenerate(t *testing.T) {
+	if got := estimateAdjCap([]int64{0}, nil); got != 0 {
+		t.Fatalf("empty estimate = %d", got)
+	}
+	// All edges on one row the sample stride (200/64 = 3) misses:
+	// row 151 is not a multiple of 3, so sampleEdges stays 0 and the
+	// fallback width must still cover the stream.
+	index := make([]int64, 201)
+	for v := 152; v <= 200; v++ {
+		index[v] = 3
+	}
+	nbrs := []uint32{1, 2, 3}
+	est := estimateAdjCap(index, nbrs)
+	enc := EncodeAdjacency(index, nbrs)
+	if est < len(enc)/2 {
+		t.Fatalf("degenerate estimate %d far below %d", est, len(enc))
+	}
+}

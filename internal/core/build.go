@@ -8,6 +8,7 @@ import (
 	"slices"
 	"time"
 
+	"ihtl/internal/compress"
 	"ihtl/internal/graph"
 	"ihtl/internal/sched"
 )
@@ -23,15 +24,31 @@ type FlippedBlock struct {
 	// Index has NumPushSources+1 offsets into Dsts; the edges of
 	// source s are Dsts[Index[s]:Index[s+1]].
 	Index []int64
-	// Dsts are hub destinations in new IDs (all in [HubLo, HubHi)).
+	// Dsts are hub destinations in new IDs (all in [HubLo, HubHi)),
+	// sorted ascending within each source's run: the push kernels
+	// accumulate per destination, so within-row order changes no
+	// result bit, and sorted runs make the varint gap encoding
+	// effective. Nil when only the varint form is resident (a v2
+	// engine file loaded without materialising flat topology); Index
+	// is always resident.
 	Dsts []graph.VID
 	// Sources is |FVᵢ|: the number of sources with at least one edge
 	// into this block (the §3.3 block-admission statistic).
 	Sources int
+	// Enc is the chunked varint-gap encoding of Dsts, built lazily by
+	// EnsureEncoded or loaded from a v2 engine file. Engines with
+	// BlockEncoding varint traverse it instead of Dsts.
+	Enc *compress.Chunked
 }
 
-// NumEdges returns the edge count of the block.
-func (b *FlippedBlock) NumEdges() int64 { return int64(len(b.Dsts)) }
+// NumEdges returns the edge count of the block. Index-based, so it is
+// exact whether the flat or only the encoded adjacency is resident.
+func (b *FlippedBlock) NumEdges() int64 {
+	if n := len(b.Index); n > 1 {
+		return b.Index[n-1]
+	}
+	return 0
+}
 
 // SparseBlock holds the incoming edges of all non-hub vertices in
 // pull (column-major, CSC-by-destination) form, over new IDs.
@@ -40,8 +57,12 @@ type SparseBlock struct {
 	DestLo int
 	// Index has NumV-DestLo+1 offsets into Srcs.
 	Index []int64
-	// Srcs are source new IDs grouped by destination, sorted.
+	// Srcs are source new IDs grouped by destination, sorted. Nil when
+	// only the varint form is resident; Index is always resident.
 	Srcs []graph.VID
+	// Enc is the chunked varint-gap encoding of Srcs; see
+	// FlippedBlock.Enc.
+	Enc *compress.Chunked
 
 	// HeavyDeg and Heavy are the degree buckets of the degree-aware
 	// sparse schedule (SparsePullDegree): rows (destinations, relative
@@ -92,8 +113,14 @@ func (s *SparseBlock) EnsureDegreeBuckets() {
 	}
 }
 
-// NumEdges returns the edge count of the sparse block.
-func (s *SparseBlock) NumEdges() int64 { return int64(len(s.Srcs)) }
+// NumEdges returns the edge count of the sparse block. Index-based,
+// like FlippedBlock.NumEdges.
+func (s *SparseBlock) NumEdges() int64 {
+	if n := len(s.Index); n > 1 {
+		return s.Index[n-1]
+	}
+	return 0
+}
 
 // IHTL is the iHTL graph (Figure 3): the relabeling arrays, the
 // flipped blocks, and the sparse block.
@@ -802,6 +829,7 @@ func buildFlippedBlocks(g *graph.Graph, ih *IHTL, numBlocks int, pool *sched.Poo
 				}
 			}
 		}
+		sortFlippedRows(ih, 0, nsrc)
 		for blk := range ih.Blocks {
 			fb := &ih.Blocks[blk]
 			fb.Sources = countBlockSources(fb.Index, nsrc)
@@ -834,6 +862,12 @@ func buildFlippedBlocks(g *graph.Graph, ih *IHTL, numBlocks int, pool *sched.Poo
 	pool.ForDynamic(nsrc, 512, func(worker, lo, hi int) {
 		t := time.Now()
 		fillFlippedRange(g, ih, cursors, b, lo, hi)
+		c := &clk[worker]
+		c.blocks += time.Since(t)
+	})
+	pool.ForDynamic(nsrc, 512, func(worker, lo, hi int) {
+		t := time.Now()
+		sortFlippedRows(ih, lo, hi)
 		c := &clk[worker]
 		c.blocks += time.Since(t)
 	})
@@ -870,6 +904,26 @@ func fillFlippedRange(g *graph.Graph, ih *IHTL, cursors [][]int64, b, lo, hi int
 				cur := cursors[blk]
 				ih.Blocks[blk].Dsts[cur[s]] = graph.VID(nd)
 				cur[s]++
+			}
+		}
+	}
+}
+
+// sortFlippedRows sorts the destination run of every source in
+// [lo, hi) ascending, in every block. Each run has one owner, so the
+// parallel pass produces the sequential pass's exact blocks. The out-
+// edge scan fills runs in NewID-scrambled order; sorting restores the
+// locality the gap encoding (and the hub-buffer access pattern)
+// benefits from, and cannot change results: every destination
+// accumulates the same multiset of contributions in the same
+// per-accumulator order.
+func sortFlippedRows(ih *IHTL, lo, hi int) {
+	for blk := range ih.Blocks {
+		fb := &ih.Blocks[blk]
+		for s := lo; s < hi; s++ {
+			row := fb.Dsts[fb.Index[s]:fb.Index[s+1]]
+			if len(row) > 1 {
+				slices.Sort(row)
 			}
 		}
 	}

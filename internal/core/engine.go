@@ -33,6 +33,17 @@ type Engine struct {
 	atomicFlipped bool
 	phased        bool
 
+	// encoding is the resolved block encoding; varint mirrors
+	// encoding == EncodingVarint for branch-cheap hot-path checks.
+	// Under varint the flipped tasks are encoded chunks decoded into
+	// encScratch[w] inside the dispatch loop, and the sparse pull
+	// decodes rows at sparseRowOff[i] straight into their sums; see
+	// encoding.go.
+	encoding     BlockEncoding
+	varint       bool
+	encScratch   []encScratch
+	sparseRowOff []int64
+
 	// bufs[w] is worker w's private accumulation buffer over all
 	// hubs — "each thread buffers B * #fb vertex data" (§3.4). With
 	// B sized to L2/8, one buffer per flipped block fits L2.
@@ -123,6 +134,10 @@ type Engine struct {
 type blockTask struct {
 	block  int
 	lo, hi int // source range
+	// chunk is the encoded-chunk ordinal of the task under the varint
+	// encoding (the source range then equals the chunk's row range);
+	// unused under flat.
+	chunk int
 	// dLo, dHi bound the hub IDs this task's edges can write
 	// (precomputed at build). Tracking the dirty range per task
 	// instead of per edge keeps the push inner loop identical to the
@@ -299,6 +314,12 @@ type EngineOptions struct {
 	// All three produce bit-for-bit identical results; they differ in
 	// memory-access shape and scheduling. See sparse.go.
 	SparseKernel SparseKernel
+	// BlockEncoding selects the adjacency representation the engine
+	// traverses: EncodingAuto (varint when only the encoded topology
+	// is resident, flat otherwise), EncodingFlat or EncodingVarint.
+	// All pipelines are bit-for-bit identical under either encoding.
+	// See encoding.go.
+	BlockEncoding BlockEncoding
 }
 
 // NewEngine prepares an Algorithm 3 engine on the given pool with
@@ -319,9 +340,16 @@ func NewEngineOpts(ih *IHTL, pool *sched.Pool, opt EngineOptions) (*Engine, erro
 			e.bufs[w] = make([]float64, ih.NumHubs)
 		}
 	}
-	// Edge-balanced source chunks per flipped block: the per-block
-	// CSR index arrays give exact per-source edge counts.
-	e.blockTasks, e.tasksPerBlock, e.emptyBlocks = buildBlockTasks(ih, pool.Workers()*4)
+	e.initEncoding(opt.BlockEncoding)
+	if e.varint {
+		// One task per encoded chunk: the chunk's decode scratch is
+		// the cache-resident working set, so it is the steal granule.
+		e.blockTasks, e.tasksPerBlock, e.emptyBlocks = buildBlockTasksEnc(ih)
+	} else {
+		// Edge-balanced source chunks per flipped block: the per-block
+		// CSR index arrays give exact per-source edge counts.
+		e.blockTasks, e.tasksPerBlock, e.emptyBlocks = buildBlockTasks(ih, pool.Workers()*4)
+	}
 	if n := ih.NumV - ih.Sparse.DestLo; n > 0 {
 		e.sparseBounds = sched.EdgeBalancedParts(ih.Sparse.Index, pool.Workers()*4)
 	}
@@ -646,14 +674,18 @@ func (e *Engine) fusedWorkerBuffered(w int) {
 			faultinject.Fire(faultinject.SiteFlippedTask)
 			bt := &e.blockTasks[ti]
 			fb := &ih.Blocks[bt.block]
-			dsts := fb.Dsts
-			for s := bt.lo; s < bt.hi; s++ {
-				x := src[s]
-				if spmv.SkipZero(x) {
-					continue
-				}
-				for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
-					buf[dsts[i]] += x
+			if e.varint {
+				e.pushTaskEnc(w, bt, fb, src, buf)
+			} else {
+				dsts := fb.Dsts
+				for s := bt.lo; s < bt.hi; s++ {
+					x := src[s]
+					if spmv.SkipZero(x) {
+						continue
+					}
+					for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
+						buf[dsts[i]] += x
+					}
 				}
 			}
 			if bt.dHi > bt.dLo {
@@ -762,6 +794,10 @@ func (e *Engine) fusedWorkerAtomic(w int) {
 			faultinject.Fire(faultinject.SiteFlippedTask)
 			bt := &e.blockTasks[ti]
 			fb := &ih.Blocks[bt.block]
+			if e.varint {
+				e.pushTaskEncAtomic(w, bt, fb, src, dst)
+				continue
+			}
 			dsts := fb.Dsts
 			for s := bt.lo; s < bt.hi; s++ {
 				x := src[s]
@@ -817,6 +853,10 @@ func (e *Engine) stepPhased(src, dst []float64) {
 		e.pool.ForEachPart(len(e.blockTasks), func(w, task int) {
 			bt := &e.blockTasks[task]
 			fb := &ih.Blocks[bt.block]
+			if e.varint {
+				e.pushTaskEncAtomic(w, bt, fb, src, dst)
+				return
+			}
 			dsts := fb.Dsts
 			for s := bt.lo; s < bt.hi; s++ {
 				x := src[s]
@@ -833,6 +873,10 @@ func (e *Engine) stepPhased(src, dst []float64) {
 			bt := &e.blockTasks[task]
 			fb := &ih.Blocks[bt.block]
 			buf := e.bufs[w]
+			if e.varint {
+				e.pushTaskEnc(w, bt, fb, src, buf)
+				return
+			}
 			dsts := fb.Dsts
 			for s := bt.lo; s < bt.hi; s++ {
 				x := src[s]

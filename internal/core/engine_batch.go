@@ -222,18 +222,22 @@ func (e *Engine) fusedWorkerBufferedBatch(b *batchState, w int) {
 			faultinject.Fire(faultinject.SiteFlippedTask)
 			bt := &e.blockTasks[ti]
 			fb := &ih.Blocks[bt.block]
-			dsts := fb.Dsts
-			for s := bt.lo; s < bt.hi; s++ {
-				sb := s * k
-				xs := src[sb : sb+k : sb+k]
-				if spmv.SkipZeroLanes(xs) {
-					continue
-				}
-				for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
-					db := int(dsts[i]) * k
-					acc := buf[db : db+k : db+k]
-					for j, x := range xs {
-						acc[j] += x
+			if e.varint {
+				e.pushTaskEncBatch(w, k, bt, fb, src, buf)
+			} else {
+				dsts := fb.Dsts
+				for s := bt.lo; s < bt.hi; s++ {
+					sb := s * k
+					xs := src[sb : sb+k : sb+k]
+					if spmv.SkipZeroLanes(xs) {
+						continue
+					}
+					for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
+						db := int(dsts[i]) * k
+						acc := buf[db : db+k : db+k]
+						for j, x := range xs {
+							acc[j] += x
+						}
 					}
 				}
 			}
@@ -321,6 +325,10 @@ func (e *Engine) fusedWorkerAtomicBatch(b *batchState, w int) {
 			faultinject.Fire(faultinject.SiteFlippedTask)
 			bt := &e.blockTasks[ti]
 			fb := &ih.Blocks[bt.block]
+			if e.varint {
+				e.pushTaskEncAtomicBatch(w, k, bt, fb, src, dst)
+				continue
+			}
 			dsts := fb.Dsts
 			for s := bt.lo; s < bt.hi; s++ {
 				sb := s * k
@@ -359,6 +367,10 @@ func (e *Engine) stepPhasedBatch(b *batchState, src, dst []float64) {
 		e.pool.ForEachPart(len(e.blockTasks), func(w, task int) {
 			bt := &e.blockTasks[task]
 			fb := &ih.Blocks[bt.block]
+			if e.varint {
+				e.pushTaskEncAtomicBatch(w, k, bt, fb, src, dst)
+				return
+			}
 			dsts := fb.Dsts
 			for s := bt.lo; s < bt.hi; s++ {
 				sb := s * k
@@ -379,6 +391,10 @@ func (e *Engine) stepPhasedBatch(b *batchState, src, dst []float64) {
 			bt := &e.blockTasks[task]
 			fb := &ih.Blocks[bt.block]
 			buf := b.bufs[w]
+			if e.varint {
+				e.pushTaskEncBatch(w, k, bt, fb, src, buf)
+				return
+			}
 			dsts := fb.Dsts
 			for s := bt.lo; s < bt.hi; s++ {
 				sb := s * k

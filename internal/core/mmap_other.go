@@ -1,0 +1,14 @@
+//go:build !unix
+
+package core
+
+import "os"
+
+// mapFile on platforms without a usable mmap reads the file into an
+// aligned in-memory buffer. Engines behave identically; only the lazy
+// paging of the unix path is lost.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	return readFileAligned(f, size)
+}
+
+func unmapFile(data []byte) error { return nil }

@@ -1,0 +1,26 @@
+//go:build unix
+
+package core
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The mapping outlives the
+// file descriptor, so callers may close f immediately. On any mmap
+// failure (or a zero-length file) it degrades to the portable
+// read-into-memory fallback rather than erroring: mapping is an
+// optimisation, not a requirement.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return readFileAligned(f, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return readFileAligned(f, size)
+	}
+	return data, true, nil
+}
+
+func unmapFile(data []byte) error { return syscall.Munmap(data) }

@@ -94,6 +94,9 @@ func ReadIHTL(r io.Reader) (*IHTL, error) {
 	if err := get(&version); err != nil {
 		return nil, err
 	}
+	if version == ihtlVersion2 {
+		return readV2Resident(br)
+	}
 	if version != ihtlVersion {
 		return nil, fmt.Errorf("core: unsupported version %d", version)
 	}

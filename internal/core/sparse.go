@@ -143,6 +143,14 @@ func buildPB(ih *IHTL, workers int) *pbState {
 	if n <= 0 {
 		return nil
 	}
+	// The transpose below needs the flat source array. When only the
+	// encoded form is resident (a v2 varint load), decode it
+	// transiently — the pbState's own push arrays replace it, so the
+	// flat array is garbage right after construction.
+	srcs := sp.Srcs
+	if srcs == nil && sp.Enc != nil {
+		srcs = decodeFlat(sp.Enc)
+	}
 	pb := &pbState{}
 	rows := ih.HubsPerBlock
 	if rows < 256 {
@@ -155,20 +163,20 @@ func buildPB(ih *IHTL, workers int) *pbState {
 	pb.numChunks = workers * 4
 
 	pb.pushIndex = make([]int64, ih.NumV+1)
-	for _, s := range sp.Srcs {
+	for _, s := range srcs {
 		pb.pushIndex[s+1]++
 	}
 	for v := 0; v < ih.NumV; v++ {
 		pb.pushIndex[v+1] += pb.pushIndex[v]
 	}
-	pb.pushRows = make([]uint32, len(sp.Srcs))
+	pb.pushRows = make([]uint32, len(srcs))
 	cur := make([]int64, ih.NumV)
 	copy(cur, pb.pushIndex[:ih.NumV])
 	// Row-ascending fill: each source's run comes out in ascending row
 	// order, which the bin sweep preserves.
 	for i := 0; i < n; i++ {
 		for j := sp.Index[i]; j < sp.Index[i+1]; j++ {
-			s := sp.Srcs[j]
+			s := srcs[j]
 			pb.pushRows[cur[s]] = uint32(i)
 			cur[s]++
 		}
@@ -187,8 +195,8 @@ func buildPB(ih *IHTL, workers int) *pbState {
 		pb.binOff[i+1] += pb.binOff[i]
 	}
 	pb.binCur = make([]int64, B*C)
-	pb.binRows = make([]uint32, len(sp.Srcs))
-	pb.binVals = make([]float64, len(sp.Srcs))
+	pb.binRows = make([]uint32, len(srcs))
+	pb.binVals = make([]float64, len(srcs))
 	return pb
 }
 
@@ -322,6 +330,12 @@ func (e *Engine) sparsePullWorker(w int, src, dst []float64) {
 //ihtl:noalloc
 func (e *Engine) sparsePullRange(lo, hi int, src, dst []float64) {
 	sp := &e.ih.Sparse
+	if e.varint {
+		for i := lo; i < hi; i++ {
+			dst[sp.DestLo+i] = e.sparseRowSumEnc(i, src)
+		}
+		return
+	}
 	for i := lo; i < hi; i++ {
 		sum := 0.0
 		for j := sp.Index[i]; j < sp.Index[i+1]; j++ {
@@ -358,6 +372,13 @@ func (e *Engine) sparseHeavyWorker(w int, src, dst []float64) {
 //ihtl:noalloc
 func (e *Engine) sparseHeavyPart(p int, src, dst []float64) {
 	sp := &e.ih.Sparse
+	if e.varint {
+		for _, row := range sp.Heavy[e.heavyBounds[p]:e.heavyBounds[p+1]] {
+			i := int(row)
+			dst[sp.DestLo+i] = e.sparseRowSumEnc(i, src)
+		}
+		return
+	}
 	for _, row := range sp.Heavy[e.heavyBounds[p]:e.heavyBounds[p+1]] {
 		i := int(row)
 		sum := 0.0
@@ -393,6 +414,15 @@ func (e *Engine) sparseLightWorker(w int, src, dst []float64) {
 func (e *Engine) sparseLightPart(p int, src, dst []float64) {
 	sp := &e.ih.Sparse
 	heavy := sp.HeavyDeg
+	if e.varint {
+		for i := e.lightBounds[p]; i < e.lightBounds[p+1]; i++ {
+			if sp.Index[i+1]-sp.Index[i] >= heavy {
+				continue
+			}
+			dst[sp.DestLo+i] = e.sparseRowSumEnc(i, src)
+		}
+		return
+	}
 	for i := e.lightBounds[p]; i < e.lightBounds[p+1]; i++ {
 		if sp.Index[i+1]-sp.Index[i] >= heavy {
 			continue

@@ -83,6 +83,10 @@ func (e *Engine) sparsePullRangeBatch(k, lo, hi int, src, dst []float64) {
 		for j := range out {
 			out[j] = 0
 		}
+		if e.varint {
+			e.sparseRowAccEnc(i, k, src, out)
+			continue
+		}
 		for jj := sp.Index[i]; jj < sp.Index[i+1]; jj++ {
 			sb := int(sp.Srcs[jj]) * k
 			xs := src[sb : sb+k : sb+k]
@@ -123,6 +127,10 @@ func (e *Engine) sparseHeavyPartBatch(k, p int, src, dst []float64) {
 		out := dst[db : db+k : db+k]
 		for j := range out {
 			out[j] = 0
+		}
+		if e.varint {
+			e.sparseRowAccEnc(i, k, src, out)
+			continue
 		}
 		for jj := sp.Index[i]; jj < sp.Index[i+1]; jj++ {
 			sb := int(sp.Srcs[jj]) * k
@@ -166,6 +174,10 @@ func (e *Engine) sparseLightPartBatch(k, p int, src, dst []float64) {
 		out := dst[db : db+k : db+k]
 		for j := range out {
 			out[j] = 0
+		}
+		if e.varint {
+			e.sparseRowAccEnc(i, k, src, out)
+			continue
 		}
 		for jj := sp.Index[i]; jj < sp.Index[i+1]; jj++ {
 			sb := int(sp.Srcs[jj]) * k
