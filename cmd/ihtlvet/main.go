@@ -1,9 +1,11 @@
 // Command ihtlvet runs the repo's static-analysis suite (see
-// internal/analyzers): noalloc, skipzero, atomicfield and parcapture.
+// internal/analyzers): noalloc, skipzero, atomicfield, parcapture,
+// ctxleak, determinism, faultsite and nopanic — plus two
+// compiler-assisted gates, -bce and -escape (see gates.go).
 //
 // Usage:
 //
-//	ihtlvet [-json] [-analyzers=noalloc,skipzero,...] [packages]
+//	ihtlvet [-json] [-analyzers=noalloc,skipzero,...] [-bce] [-escape] [packages]
 //
 // Package patterns follow go vet conventions for this module: "./...",
 // "internal/core/...", directory paths, or full import paths. With no
@@ -17,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -35,20 +38,25 @@ type jsonDiagnostic struct {
 }
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(argv []string) int {
+func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ihtlvet", flag.ContinueOnError)
-	fs.SetOutput(os.Stderr)
+	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	names := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	list := fs.Bool("list", false, "list available analyzers and exit")
+	bce := fs.Bool("bce", false, "also run the bounds-check gate: compile with -d=ssa/check_bce and fail on checks inside //ihtl:nobce functions")
+	escape := fs.Bool("escape", false, "also run the escape gate: compile with -m and fail on heap escapes inside //ihtl:noescape functions")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ihtlvet [-json] [-analyzers=a,b] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(stderr, "usage: ihtlvet [-json] [-analyzers=a,b] [-bce] [-escape] [packages]\n\nAnalyzers:\n")
 		for _, a := range analyzers.All() {
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
+		fmt.Fprintf(stderr, "\nGates:\n")
+		fmt.Fprintf(stderr, "  %-12s %s\n", "bce", "no bounds checks survive in //ihtl:nobce functions (compiler-assisted)")
+		fmt.Fprintf(stderr, "  %-12s %s\n", "escape", "no heap escapes in //ihtl:noescape functions (compiler-assisted)")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(argv); err != nil {
@@ -56,7 +64,7 @@ func run(argv []string) int {
 	}
 	if *list {
 		for _, a := range analyzers.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -66,35 +74,52 @@ func run(argv []string) int {
 		var err error
 		suite, err = analyzers.ByName(strings.Split(*names, ","))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ihtlvet: %v\n", err)
+			fmt.Fprintf(stderr, "ihtlvet: %v\n", err)
 			return 2
 		}
 	}
 
 	wd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ihtlvet: %v\n", err)
+		fmt.Fprintf(stderr, "ihtlvet: %v\n", err)
 		return 2
 	}
 	root, err := analyzers.FindModuleRoot(wd)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ihtlvet: %v\n", err)
+		fmt.Fprintf(stderr, "ihtlvet: %v\n", err)
 		return 2
 	}
 	loader, err := analyzers.NewLoader(root)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ihtlvet: %v\n", err)
+		fmt.Fprintf(stderr, "ihtlvet: %v\n", err)
 		return 2
 	}
 	pkgs, err := loader.Load(fs.Args()...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ihtlvet: %v\n", err)
+		fmt.Fprintf(stderr, "ihtlvet: %v\n", err)
 		return 2
 	}
 	diags, err := analyzers.RunAnalyzers(pkgs, suite)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ihtlvet: %v\n", err)
+		fmt.Fprintf(stderr, "ihtlvet: %v\n", err)
 		return 2
+	}
+
+	var gates []*gateSpec
+	if *bce {
+		gates = append(gates, bceGate)
+	}
+	if *escape {
+		gates = append(gates, escapeGate)
+	}
+	if len(gates) > 0 {
+		gateDiags, err := runGates(root, fs.Args(), gates)
+		if err != nil {
+			fmt.Fprintf(stderr, "ihtlvet: %v\n", err)
+			return 2
+		}
+		diags = append(diags, gateDiags...)
+		analyzers.SortDiagnostics(diags)
 	}
 
 	if *jsonOut {
@@ -108,15 +133,15 @@ func run(argv []string) int {
 				Message:  d.Message,
 			})
 		}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "\t")
 		if err := enc.Encode(out); err != nil {
-			fmt.Fprintf(os.Stderr, "ihtlvet: %v\n", err)
+			fmt.Fprintf(stderr, "ihtlvet: %v\n", err)
 			return 2
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n",
+			fmt.Fprintf(stderr, "%s:%d:%d: %s (%s)\n",
 				relTo(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 		}
 	}

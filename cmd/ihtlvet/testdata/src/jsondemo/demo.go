@@ -1,0 +1,23 @@
+// Package jsondemo carries two stable findings for the ihtlvet CLI
+// golden test: one determinism, one nopanic, in this order.
+//
+//ihtl:deterministic
+package jsondemo
+
+func sum(m map[int]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// Decode is a fake trust boundary that panics.
+//
+//ihtl:nopanic
+func Decode(b []byte) int {
+	if len(b) == 0 {
+		panic("empty")
+	}
+	return int(b[0])
+}

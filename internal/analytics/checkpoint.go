@@ -118,6 +118,8 @@ func EncodeCheckpoint(w io.Writer, c *Checkpoint) error {
 
 // DecodeCheckpoint reads a checkpoint in the EncodeCheckpoint format,
 // verifying the magic, version, and length invariants.
+//
+//ihtl:nopanic
 func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	br := bufio.NewReader(r)
 	var magic [len(ckptMagic)]byte

@@ -270,7 +270,7 @@ func RunPageRankCtx(ctx context.Context, e spmv.Stepper, outDeg []int, pool *sch
 		case pool != nil:
 			if stepErr = ctxErrOf(ctx); stepErr == nil {
 				e.Step(contrib, sums)
-				pool.Run(poolEpi)
+				stepErr = pool.RunCtx(ctx, poolEpi)
 			}
 		default:
 			if stepErr = ctxErrOf(ctx); stepErr == nil {

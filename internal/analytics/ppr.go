@@ -240,7 +240,7 @@ func RunPersonalizedPageRankCtx(ctx context.Context, e spmv.BatchStepper, outDeg
 		case pool != nil:
 			if stepErr = ctxErrOf(ctx); stepErr == nil {
 				e.StepBatch(contrib, sums, k)
-				pool.Run(poolEpi)
+				stepErr = pool.RunCtx(ctx, poolEpi)
 			}
 		default:
 			if stepErr = ctxErrOf(ctx); stepErr == nil {

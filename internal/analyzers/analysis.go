@@ -17,10 +17,23 @@
 // Source directives understood by the passes:
 //
 //	//ihtl:noalloc          (function doc) function must not allocate
+//	//ihtl:nopanic          (function doc) function + intra-module callees must not panic
+//	//ihtl:nobce            (function doc) compiled body must carry no bounds checks (-bce gate)
+//	//ihtl:noescape         (function doc) compiled body must not move values to the heap (-escape gate)
+//	//ihtl:instrumentation  (function doc) exempt the function from the determinism wall-clock rule
 //	//ihtl:pushkernel       (file)         file opts into skipzero scope
+//	//ihtl:deterministic    (file)         file opts into determinism scope
+//	//ihtl:faultsite-scope  (file)         file opts into the faultsite dispatch-body rule
 //	//ihtl:allow-zerocmp    (line)         suppress one skipzero finding
 //	//ihtl:allow-plain      (line)         suppress one atomicfield finding
 //	//ihtl:allow-capture    (line)         suppress one parcapture finding
+//	//ihtl:allow-noctx      (line)         suppress one ctxleak finding
+//	//ihtl:allow-walltime   (line)         suppress one determinism time.Now finding
+//	//ihtl:allow-rand       (line)         suppress one determinism math/rand finding
+//	//ihtl:allow-maporder   (line)         suppress one determinism map-order finding
+//	//ihtl:allow-nosite     (line)         suppress one faultsite finding
+//	//ihtl:allow-sitearg    (line)         suppress one faultsite dynamic-site finding
+//	//ihtl:allow-panic      (line)         suppress one nopanic finding
 package analyzers
 
 import (
@@ -110,6 +123,14 @@ func funcHasDirective(fn *ast.FuncDecl, name string) bool {
 	return commentHasDirective(fn.Doc, name)
 }
 
+// FuncHasDirective reports whether fn's doc comment carries the named
+// //ihtl: directive. Exported for the compiler-assisted gates in
+// cmd/ihtlvet, which index annotated functions from a syntax-only
+// parse outside any Pass.
+func FuncHasDirective(fn *ast.FuncDecl, name string) bool {
+	return funcHasDirective(fn, name)
+}
+
 // fileHasDirective reports whether any comment group in the file
 // carries the directive (used for file-scoped opt-ins such as
 // //ihtl:pushkernel).
@@ -163,7 +184,10 @@ func (p *Pass) suppressed(pos token.Pos, name string) bool {
 
 // All returns every analyzer in the suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{NoAlloc, SkipZero, AtomicField, ParCapture}
+	return []*Analyzer{
+		NoAlloc, SkipZero, AtomicField, ParCapture,
+		CtxLeak, Determinism, FaultSite, NoPanic,
+	}
 }
 
 // ByName returns the named analyzers, or an error naming the unknown
@@ -218,6 +242,13 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 	}
 	sortDiagnostics(diags)
 	return diags, nil
+}
+
+// SortDiagnostics orders diags by file, line, column, then analyzer —
+// the stable order every ihtlvet output mode relies on. Exported so
+// cmd/ihtlvet can re-sort after appending gate diagnostics.
+func SortDiagnostics(diags []Diagnostic) {
+	sortDiagnostics(diags)
 }
 
 func sortDiagnostics(diags []Diagnostic) {

@@ -15,6 +15,18 @@ import (
 // line; unexpected diagnostics and unmatched wants both fail the test.
 func runAnalyzerTest(t *testing.T, a *Analyzer, name string) {
 	t.Helper()
+	runAnalyzerTestPkgs(t, a, name)
+}
+
+// runAnalyzerTestPkgs is runAnalyzerTest for suites that span several
+// packages: subdirs are loaded first (under synthetic import paths
+// below the main package's, so the main package can import them), then
+// the main package, and the analyzer runs over all of them with wants
+// collected across every file. Module-scope passes (RunModule) need
+// this to see a testdata-local harness package such as faultsite's
+// fake faultinject.
+func runAnalyzerTestPkgs(t *testing.T, a *Analyzer, name string, subdirs ...string) {
+	t.Helper()
 	root, err := FindModuleRoot(".")
 	if err != nil {
 		t.Fatal(err)
@@ -24,16 +36,30 @@ func runAnalyzerTest(t *testing.T, a *Analyzer, name string) {
 		t.Fatal(err)
 	}
 	dir := filepath.Join(root, "internal", "analyzers", "testdata", "src", name)
+	var pkgs []*Package
+	for _, sub := range subdirs {
+		p, err := l.LoadDir(filepath.Join(dir, sub), "ihtlvet.test/"+name+"/"+sub)
+		if err != nil {
+			t.Fatalf("loading %s/%s: %v", dir, sub, err)
+		}
+		pkgs = append(pkgs, p)
+	}
 	pkg, err := l.LoadDir(dir, "ihtlvet.test/"+name)
 	if err != nil {
 		t.Fatalf("loading %s: %v", dir, err)
 	}
-	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	pkgs = append(pkgs, pkg)
+	diags, err := RunAnalyzers(pkgs, []*Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
 
-	wants := collectWants(t, pkg)
+	wants := make(map[string]*want)
+	for _, p := range pkgs {
+		for key, w := range collectWants(t, p) {
+			wants[key] = w
+		}
+	}
 	for _, d := range diags {
 		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
 		w, ok := wants[key]

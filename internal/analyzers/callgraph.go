@@ -1,0 +1,138 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file extends the loader layer with the whole-program plumbing
+// the module-scoped passes (nopanic, faultsite) need: an index from
+// function objects to their declarations across every loaded package,
+// static callee resolution, and a transitive walk over the
+// intra-module call graph. The walk is deliberately static and
+// under-approximate — calls through interfaces, func-typed fields and
+// stored closures are not followed — which keeps it sound for the
+// passes that use it as an allow-list ("does this body, or anything it
+// statically calls, reach X") and conservative for the ones that use
+// it as a deny-list (an unresolvable call is simply out of reach and
+// must be covered by annotation or waiver at its own declaration).
+
+// funcEntry locates one function declaration: the pass owning its file
+// (for waiver lookups and diagnostic attribution) and the declaration
+// itself.
+type funcEntry struct {
+	pass *Pass
+	decl *ast.FuncDecl
+}
+
+// funcIndex maps every module function and method object to its
+// declaration. Object identity holds module-wide because all packages
+// share one Loader.
+type funcIndex map[*types.Func]funcEntry
+
+// buildFuncIndex indexes every function declared in the loaded
+// packages.
+func buildFuncIndex(passes []*Pass) funcIndex {
+	idx := make(funcIndex)
+	for _, pass := range passes {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+					idx[obj] = funcEntry{pass: pass, decl: fn}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// staticCallee resolves call to the function object it statically
+// invokes: a plain function, a method on a concrete receiver, or a
+// method value. Interface dispatch, func-typed variables and builtins
+// resolve to nil.
+func (p *Pass) staticCallee(call *ast.CallExpr) *types.Func {
+	obj := p.calleeObject(call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	// Interface method: the callee body is unknowable statically.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if isInterface(s.Recv()) {
+				return nil
+			}
+		}
+	}
+	return fn
+}
+
+// walkCallees runs visit over fn's declaration and every intra-module
+// function statically reachable from it, breadth-first. visit receives
+// the entry plus the call chain root; returning false from visit stops
+// the descent into that function's callees (its body was still
+// visited). Functions outside idx (stdlib, unresolvable) are skipped.
+func walkCallees(idx funcIndex, root *types.Func, visit func(fn *types.Func, e funcEntry) bool) {
+	seen := map[*types.Func]bool{root: true}
+	queue := []*types.Func{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		e, ok := idx[cur]
+		if !ok {
+			continue
+		}
+		if !visit(cur, e) {
+			continue
+		}
+		ast.Inspect(e.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := e.pass.staticCallee(call); callee != nil && !seen[callee] {
+				if _, inModule := idx[callee]; inModule {
+					seen[callee] = true
+					queue = append(queue, callee)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// inspectStack is ast.Inspect with an ancestor stack: f sees each node
+// together with its ancestors, outermost first. Returning false skips
+// the node's children.
+func inspectStack(root ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !f(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// poolDispatchName returns the sched.Pool dispatch method name invoked
+// by call ("Run", "ForStaticCtx", …), or "" when call is not a pool
+// dispatch.
+func poolDispatchName(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !parCaptureMethods[sel.Sel.Name] {
+		return ""
+	}
+	if !isPoolDispatch(pass, call) {
+		return ""
+	}
+	return sel.Sel.Name
+}

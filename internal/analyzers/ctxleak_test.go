@@ -1,0 +1,7 @@
+package analyzers
+
+import "testing"
+
+func TestCtxLeak(t *testing.T) {
+	runAnalyzerTest(t, CtxLeak, "ctxleak")
+}

@@ -1,0 +1,7 @@
+package analyzers
+
+import "testing"
+
+func TestDeterminism(t *testing.T) {
+	runAnalyzerTest(t, Determinism, "determinism")
+}

@@ -1,0 +1,9 @@
+package analyzers
+
+import "testing"
+
+func TestFaultSite(t *testing.T) {
+	// The fake harness subpackage loads first so the main testdata
+	// package can import it by its synthetic path.
+	runAnalyzerTestPkgs(t, FaultSite, "faultsite", "faultinject")
+}

@@ -81,6 +81,12 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 
 // ImportFrom implements types.ImporterFrom.
 func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	// Already-loaded packages resolve by identity regardless of path —
+	// this is how testdata packages import sibling testdata packages
+	// (pre-loaded by the test harness under synthetic import paths).
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
 	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
 		p, err := l.loadPath(path)
 		if err != nil {

@@ -1,0 +1,137 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPanic enforces error-never-panic decoding of untrusted bytes.
+// Functions annotated //ihtl:nopanic — the v2 engine-file parser, the
+// chunked-stream validator, the checkpoint decoder — are the module's
+// trust boundary: they take attacker-controlled input and must report
+// malformed bytes as errors, never as a crash. The pass walks each
+// annotated function AND every intra-module function statically
+// reachable from it (the transitive-callee walk the shared loader
+// makes possible) and rejects the constructs that turn bad input into
+// a panic:
+//
+//   - explicit panic(...) calls;
+//   - single-result type assertions x.(T) (comma-ok and type switches
+//     stay legal);
+//   - calls to Must* helpers (the regexp.MustCompile naming
+//     convention: panics on error by contract).
+//
+// Implicit panics (out-of-range indexing, nil dereference) are the
+// compiler's domain; the untrusted decode paths gate those behind
+// Validate, and the fuzz suites hammer the gate. A construct that is
+// provably unreachable on untrusted input carries //ihtl:allow-panic
+// <reason> on its line (e.g. the Validate-gated unchecked decoder).
+//
+// Calls through interfaces and func values are not walked; keep trust-
+// boundary code first-order (it is today) or the walk silently stops.
+var NoPanic = &Analyzer{
+	Name:      "nopanic",
+	Doc:       "reject panics, bare type assertions and Must* calls reachable from //ihtl:nopanic functions",
+	RunModule: runNoPanic,
+}
+
+func runNoPanic(passes []*Pass) error {
+	idx := buildFuncIndex(passes)
+	// Collect the annotated roots in deterministic (pass, file) order.
+	type root struct {
+		fn   *types.Func
+		name string
+	}
+	var roots []root
+	for _, pass := range passes {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !funcHasDirective(fd, "nopanic") {
+					continue
+				}
+				if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					roots = append(roots, root{fn: obj, name: fd.Name.Name})
+				}
+			}
+		}
+	}
+	// checked tracks functions already verified under some root, so a
+	// shared helper is reported once (under the first root reaching it).
+	checked := make(map[*types.Func]bool)
+	for _, r := range roots {
+		walkCallees(idx, r.fn, func(fn *types.Func, e funcEntry) bool {
+			if checked[fn] {
+				return false // subtree already verified
+			}
+			checked[fn] = true
+			checkNoPanicBody(e.pass, e.decl, r.name)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkNoPanicBody(pass *Pass, fn *ast.FuncDecl, rootName string) {
+	where := fn.Name.Name
+	if where != rootName {
+		where = fn.Name.Name + " (reachable from //ihtl:nopanic " + rootName + ")"
+	}
+	report := func(pos ast.Node, format string, args ...any) {
+		if pass.suppressed(pos.Pos(), "allow-panic") {
+			return
+		}
+		pass.Reportf(pos.Pos(), format, args...)
+	}
+	inspectStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callee := pass.calleeObject(n)
+			if b, ok := callee.(*types.Builtin); ok && b.Name() == "panic" {
+				report(n, "%s must decode errors, not panic; return an error (or waive with //ihtl:allow-panic <reason>)", where)
+				return true
+			}
+			if f, ok := callee.(*types.Func); ok && strings.HasPrefix(f.Name(), "Must") {
+				report(n, "%s calls %s, which panics on error by convention; use the error-returning form (or waive with //ihtl:allow-panic <reason>)", where, f.Name())
+			}
+		case *ast.TypeAssertExpr:
+			if n.Type == nil {
+				return true // x.(type) in a type switch
+			}
+			if assertHasCommaOK(stack) {
+				return true
+			}
+			report(n, "%s uses a single-result type assertion, which panics on mismatch; use the v, ok := form (or waive with //ihtl:allow-panic <reason>)", where)
+		}
+		return true
+	})
+}
+
+// assertHasCommaOK reports whether the type assertion at the top of
+// stack is consumed in a two-result position (v, ok := x.(T)), which
+// never panics.
+func assertHasCommaOK(stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	// Unwrap parens between the assertion and its consumer.
+	i := len(stack) - 1
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	switch p := stack[i].(type) {
+	case *ast.AssignStmt:
+		return len(p.Lhs) == 2 && len(p.Rhs) == 1
+	case *ast.ValueSpec:
+		return len(p.Names) == 2 && len(p.Values) == 1
+	}
+	return false
+}

@@ -1,0 +1,7 @@
+package analyzers
+
+import "testing"
+
+func TestNoPanic(t *testing.T) {
+	runAnalyzerTest(t, NoPanic, "nopanic")
+}

@@ -1,0 +1,80 @@
+// Package ctxleak seeds cancellation holes for the ctxleak analyzer.
+package ctxleak
+
+import (
+	"context"
+
+	"ihtl/internal/sched"
+)
+
+// badRun carries a ctx but dispatches through the plain entry points:
+// cancellation is never observed, a worker panic crashes the process.
+func badRun(ctx context.Context, p *sched.Pool, xs []float64) {
+	p.Run(func(worker int) { // want `badRun carries a context.Context but dispatches via Pool.Run`
+		_ = xs[worker]
+	})
+	p.ForStatic(len(xs), func(worker, lo, hi int) { // want `badRun carries a context.Context but dispatches via Pool.ForStatic`
+		for i := lo; i < hi; i++ {
+			xs[i] = 0
+		}
+	})
+}
+
+// goodCtx uses the cancellation-aware variants: clean.
+func goodCtx(ctx context.Context, p *sched.Pool, xs []float64) error {
+	if err := p.RunCtx(ctx, func(worker int) {
+		_ = xs[worker]
+	}); err != nil {
+		return err
+	}
+	return p.ForStaticCtx(ctx, len(xs), func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xs[i] = 0
+		}
+	})
+}
+
+// goodNoCtx has no context parameter, so plain dispatches are the
+// correct shape: clean.
+func goodNoCtx(p *sched.Pool, xs []float64) {
+	p.ForStatic(len(xs), func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xs[i] = 0
+		}
+	})
+}
+
+// goodFallible opens a Fallible region, inside which the plain
+// dispatches ARE ctx- and panic-aware by the region's contract: clean.
+func goodFallible(ctx context.Context, p *sched.Pool, xs []float64) error {
+	end, err := p.Fallible(ctx)
+	if err != nil {
+		return err
+	}
+	p.ForStatic(len(xs), func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xs[i] = 0
+		}
+	})
+	return end()
+}
+
+// waived documents a deliberate hole: the cleanup dispatch must run
+// even after cancellation, and the waiver silences the finding.
+func waived(ctx context.Context, p *sched.Pool, xs []float64) {
+	//ihtl:allow-noctx cleanup must run to completion even when ctx is cancelled
+	p.ForStatic(len(xs), func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xs[i] = 0
+		}
+	})
+}
+
+// wrongWaiver carries an unrelated directive, which must NOT silence
+// the finding.
+func wrongWaiver(ctx context.Context, p *sched.Pool, xs []float64) {
+	//ihtl:allow-capture not the right directive
+	p.Run(func(worker int) { // want `wrongWaiver carries a context.Context but dispatches via Pool.Run`
+		_ = xs[worker]
+	})
+}

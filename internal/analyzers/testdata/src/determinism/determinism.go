@@ -1,0 +1,102 @@
+// Package determinism seeds reproducibility leaks for the determinism
+// analyzer. The package is outside the kernel/build path set, so the
+// file opts in with the explicit directive:
+//
+//ihtl:deterministic
+package determinism
+
+import (
+	"math/rand" // want `kernel/build package imports math/rand`
+	"slices"
+	"time"
+
+	//ihtl:allow-rand deliberate non-reproducible baseline for ablation
+	_ "math/rand/v2"
+)
+
+// badRand uses the banned global source.
+func badRand() int { return rand.Int() }
+
+// badWalltime lets the timestamp itself reach an output.
+func badWalltime() int64 {
+	t := time.Now() // want `badWalltime stores time.Now in t, which escapes the duration-instrumentation idiom`
+	return t.Unix()
+}
+
+// badWalltimeInline consumes the timestamp outside the Sub/Since
+// idiom without ever binding it.
+func badWalltimeInline() int64 {
+	return time.Now().UnixNano() // want `badWalltimeInline lets time.Now escape the duration-instrumentation idiom`
+}
+
+// goodInstrumentation is the workerClock idiom: Now feeds only Since.
+func goodInstrumentation(work func()) time.Duration {
+	t := time.Now()
+	work()
+	return time.Since(t)
+}
+
+// goodSub exercises the receiver and argument positions of Sub.
+func goodSub(work func()) time.Duration {
+	t := time.Now()
+	work()
+	u := time.Now()
+	return u.Sub(t)
+}
+
+// timestamped embeds wall time on purpose; the function directive
+// exempts the whole body.
+//
+//ihtl:instrumentation
+func timestamped() int64 { return time.Now().UnixNano() }
+
+// waivedWalltime carries the line waiver instead.
+func waivedWalltime() int64 {
+	return time.Now().UnixNano() //ihtl:allow-walltime run-id seed, never compared across runs
+}
+
+// badMapAppend leaks map iteration order into element order.
+func badMapAppend(m map[int]float64) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `badMapAppend appends to keys while ranging over a map and never sorts it`
+	}
+	return keys
+}
+
+// goodMapAppendSorted is the canonical collect-then-sort idiom.
+func goodMapAppendSorted(m map[int]float64) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// badMapFloat leaks map iteration order into FP rounding.
+func badMapFloat(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `badMapFloat accumulates float total while ranging over a map`
+	}
+	return total
+}
+
+// waivedMapFloat documents a deliberately order-insensitive sum.
+func waivedMapFloat(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v //ihtl:allow-maporder tolerance-compared diagnostic only
+	}
+	return total
+}
+
+// goodMapInt: integer accumulation is exact in any order.
+func goodMapInt(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,23 @@
+// Package faultinject is a minimal stand-in for the real fault
+// harness, giving the faultsite testdata a site catalog of its own.
+package faultinject
+
+// Site names one injection point.
+type Site string
+
+const (
+	// SiteAlpha is fired directly by dispatch callbacks.
+	SiteAlpha Site = "test.alpha"
+	// SiteBeta is fired through a helper.
+	SiteBeta Site = "test.beta"
+	// SiteOrphan is wired to nothing.
+	SiteOrphan Site = "test.orphan" // want `SiteOrphan is declared but never passed to Fire or Poison`
+	// SiteFuture is intentionally unfired; the waiver keeps it legal.
+	SiteFuture Site = "test.future" //ihtl:allow-nosite reserved for the next harness revision
+)
+
+// Fire marks an injection point.
+func Fire(s Site) {}
+
+// Poison marks a data-corruption injection point.
+func Poison(s Site) bool { return false }

@@ -1,0 +1,102 @@
+// Package faultsite seeds catalog violations for the faultsite
+// analyzer, against the fake harness in the faultinject subpackage.
+// The file-scope directive opts the package into the rule-3 dispatch
+// checks that normally key on the internal/sched and internal/core
+// paths:
+//
+//ihtl:faultsite-scope
+package faultsite
+
+import (
+	"ihtlvet.test/faultsite/faultinject"
+
+	"ihtl/internal/sched"
+)
+
+// fireBeta reaches a site one call level down.
+func fireBeta() {
+	faultinject.Fire(faultinject.SiteBeta)
+}
+
+// goodDirect fires a site inside the callback body: clean.
+func goodDirect(p *sched.Pool, xs []float64) {
+	p.ForStatic(len(xs), func(worker, lo, hi int) {
+		faultinject.Fire(faultinject.SiteAlpha)
+		for i := lo; i < hi; i++ {
+			xs[i] = 0
+		}
+	})
+}
+
+// goodViaHelper reaches a site through the call graph: clean.
+func goodViaHelper(p *sched.Pool, xs []float64) {
+	p.ForStatic(len(xs), func(worker, lo, hi int) {
+		fireBeta()
+		for i := lo; i < hi; i++ {
+			xs[i] = 0
+		}
+	})
+}
+
+// badPlain is a static dispatch whose callback reaches no site.
+func badPlain(p *sched.Pool, xs []float64) {
+	p.ForStatic(len(xs), func(worker, lo, hi int) { // want `dispatch callback reaches no faultinject site`
+		for i := lo; i < hi; i++ {
+			xs[i] = 0
+		}
+	})
+}
+
+// goodDynamic uses a dynamic mode: the pool claim loop is already
+// injectable, so no body site is required.
+func goodDynamic(p *sched.Pool, xs []float64) {
+	p.ForDynamic(len(xs), 64, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xs[i] = 0
+		}
+	})
+}
+
+// waivedPlain documents a deliberately uninstrumented sweep.
+func waivedPlain(p *sched.Pool, xs []float64) {
+	//ihtl:allow-nosite trivial zeroing sweep, nothing to recover
+	p.ForStatic(len(xs), func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xs[i] = 0
+		}
+	})
+}
+
+// dynamicCallback takes the callback as a parameter: not statically
+// resolvable, so it is checked at its declaration sites instead.
+func dynamicCallback(p *sched.Pool, n int, fn func(worker, lo, hi int)) {
+	p.ForStatic(n, fn)
+}
+
+// namedWorker fires a site; passing it by name is resolvable.
+func namedWorker(worker int) {
+	faultinject.Fire(faultinject.SiteAlpha)
+}
+
+// goodNamed dispatches a named function that fires: clean.
+func goodNamed(p *sched.Pool) {
+	p.Run(namedWorker)
+}
+
+// silentWorker reaches no site.
+func silentWorker(worker int) {}
+
+// badNamed dispatches a named function that never fires.
+func badNamed(p *sched.Pool) {
+	p.Run(silentWorker) // want `dispatch callback reaches no faultinject site`
+}
+
+// badSiteArg mints a site outside the catalog.
+func badSiteArg() {
+	faultinject.Fire(faultinject.Site("rogue.site")) // want `fault site argument is not a declared faultinject.Site constant`
+}
+
+// waivedSiteArg documents a deliberate dynamic site.
+func waivedSiteArg(name string) {
+	faultinject.Fire(faultinject.Site(name)) //ihtl:allow-sitearg replayed from a recorded plan
+}

@@ -1,0 +1,82 @@
+// Package nopanic seeds trust-boundary violations for the nopanic
+// analyzer.
+package nopanic
+
+import "errors"
+
+// Decode is a trust boundary: malformed bytes must come back as
+// errors, never as a crash. Everything it reaches is checked too.
+//
+//ihtl:nopanic
+func Decode(b []byte) (int, error) {
+	if len(b) == 0 {
+		panic("empty input") // want `Decode must decode errors, not panic`
+	}
+	n, err := header(b)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := classify(b); err != nil {
+		return 0, err
+	}
+	if _, err := okAssert(any(n)); err != nil {
+		return 0, err
+	}
+	return n + switcher(any(b)), nil
+}
+
+// header is unannotated but reachable from Decode, so the transitive
+// walk checks it.
+func header(b []byte) (int, error) {
+	n := MustLen(b) // want `header \(reachable from //ihtl:nopanic Decode\) calls MustLen, which panics on error by convention`
+	return n, nil
+}
+
+// MustLen follows the MustCompile convention: panic on error.
+func MustLen(b []byte) int {
+	if len(b) < 4 {
+		panic("short header") // want `MustLen \(reachable from //ihtl:nopanic Decode\) must decode errors, not panic`
+	}
+	return int(b[0])
+}
+
+// classify uses a single-result assertion, which panics on mismatch.
+func classify(v any) (int, error) {
+	b := v.([]byte) // want `classify \(reachable from //ihtl:nopanic Decode\) uses a single-result type assertion`
+	return len(b), nil
+}
+
+// okAssert uses the comma-ok form: never panics, clean.
+func okAssert(v any) (int, error) {
+	n, ok := v.(int)
+	if !ok {
+		return 0, errors.New("not an int")
+	}
+	return n, nil
+}
+
+// switcher uses a type switch: never panics, clean.
+func switcher(v any) int {
+	switch x := v.(type) {
+	case []byte:
+		return len(x)
+	case int:
+		return x
+	}
+	return 0
+}
+
+// DecodeTrusted shows the line waiver on a construct that is provably
+// unreachable on untrusted input.
+//
+//ihtl:nopanic
+func DecodeTrusted(b []byte) int {
+	if len(b) < 4 {
+		panic("short") //ihtl:allow-panic callers Validate length before decoding
+	}
+	return int(b[0])
+}
+
+// unrelated is neither annotated nor reachable from a root: free to
+// panic.
+func unrelated() { panic("not a trust boundary") }

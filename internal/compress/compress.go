@@ -20,6 +20,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+
+	"ihtl/internal/unchecked"
 )
 
 // uvarintLen returns the encoded size of v in bytes without encoding.
@@ -299,22 +301,26 @@ func EncodeChunked(index []int64, nbrs []uint32, targetEdges int) *Chunked {
 // DecodeChunkCSR decodes chunk c into caller scratch: sIdx (length at
 // least MaxSrcs+1) receives local CSR offsets, dsts (length at least
 // MaxEdges) the neighbours. Returns the row and edge counts. The
-// stream is trusted — run Validate once at load time for data of
-// external origin; corrupt trusted data at worst faults a bounds
-// check, never silent memory unsafety.
+// stream is trusted and the decode is unchecked (//ihtl:nobce): data
+// of external origin MUST pass Validate at load time — parseV2 does —
+// after which every cursor and count below stays inside its slice by
+// the validated chunk-table invariants. The -tags=ihtlchecked build
+// restores checked indexing here for debugging.
 //
 //ihtl:noalloc
+//ihtl:nobce
+//ihtl:noescape
 func (ck *Chunked) DecodeChunkCSR(c int, sIdx []int32, dsts []uint32) (nsrc, ne int) {
 	data := ck.Data
-	pos := ck.ByteOff[c]
-	nsrc = int(ck.SrcOff[c+1] - ck.SrcOff[c])
+	pos := unchecked.At(ck.ByteOff, c)
+	nsrc = int(unchecked.At(ck.SrcOff, c+1) - unchecked.At(ck.SrcOff, c))
 	e := 0
 	for s := 0; s < nsrc; s++ {
-		sIdx[s] = int32(e)
+		unchecked.SetAt(sIdx, s, int32(e))
 		var deg uint64
 		var shift uint
 		for {
-			b := data[pos]
+			b := unchecked.At(data, int(pos))
 			pos++
 			if b < 0x80 {
 				deg |= uint64(b) << shift
@@ -328,7 +334,7 @@ func (ck *Chunked) DecodeChunkCSR(c int, sIdx []int32, dsts []uint32) (nsrc, ne 
 			var gap uint64
 			shift = 0
 			for {
-				b := data[pos]
+				b := unchecked.At(data, int(pos))
 				pos++
 				if b < 0x80 {
 					gap |= uint64(b) << shift
@@ -338,11 +344,11 @@ func (ck *Chunked) DecodeChunkCSR(c int, sIdx []int32, dsts []uint32) (nsrc, ne 
 				shift += 7
 			}
 			prev += uint32(gap)
-			dsts[e] = prev
+			unchecked.SetAt(dsts, e, prev)
 			e++
 		}
 	}
-	sIdx[nsrc] = int32(e)
+	unchecked.SetAt(sIdx, nsrc, int32(e))
 	return nsrc, e
 }
 
@@ -352,6 +358,8 @@ func (ck *Chunked) DecodeChunkCSR(c int, sIdx []int32, dsts []uint32) (nsrc, ne 
 // totals matching NumSrc/NumEdges, and MaxSrcs/MaxEdges covering the
 // actual maxima. A Chunked of external origin (a v2 engine file) must
 // pass Validate before DecodeChunkCSR may trust it.
+//
+//ihtl:nopanic
 func (ck *Chunked) Validate(maxDst uint32) error {
 	nc := len(ck.ByteOff) - 1
 	if nc < 0 || len(ck.SrcOff) != nc+1 {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ihtl/internal/compress"
+	"ihtl/internal/faultinject"
 	"ihtl/internal/graph"
 	"ihtl/internal/sched"
 )
@@ -327,6 +328,7 @@ func relabel(g *graph.Graph, ih *IHTL, ranked []graph.VID, rp Params, pool *sche
 	} else {
 		isHub := make([]bool, g.NumV)
 		pool.ForStatic(numHubs, func(worker, lo, hi int) {
+			faultinject.Fire(faultinject.SiteBuildFill)
 			t := time.Now()
 			markHubs(isHub, ranked, lo, hi)
 			c := &clk[worker]
@@ -348,6 +350,7 @@ func relabel(g *graph.Graph, ih *IHTL, ranked []graph.VID, rp Params, pool *sche
 		}
 	} else {
 		pool.ForStatic(numHubs, func(worker, lo, hi int) {
+			faultinject.Fire(faultinject.SiteBuildFill)
 			t := time.Now()
 			assignHubs(ih.NewID, ih.OldID, ranked, lo, hi)
 			c := &clk[worker]
@@ -441,6 +444,7 @@ func assignClassPar(ih *IHTL, class []uint8, want uint8, base int, pool *sched.P
 	counts := make([]int64, w+1)
 	n := len(class)
 	pool.ForStatic(n, func(worker, lo, hi int) {
+		faultinject.Fire(faultinject.SiteBuildFill)
 		t := time.Now()
 		counts[worker+1] = countClass(class[lo:hi], want)
 		c := &clk[worker]
@@ -450,6 +454,7 @@ func assignClassPar(ih *IHTL, class []uint8, want uint8, base int, pool *sched.P
 		counts[i+1] += counts[i]
 	}
 	pool.ForStatic(n, func(worker, lo, hi int) {
+		faultinject.Fire(faultinject.SiteBuildFill)
 		t := time.Now()
 		fillClass(class, lo, hi, want, base+int(counts[worker]), ih.NewID, ih.OldID)
 		c := &clk[worker]
@@ -508,6 +513,7 @@ func rankByInDegreePar(g *graph.Graph, pool *sched.Pool, clk []buildClock) []gra
 	w := pool.Workers()
 	maxs := make([]int, w)
 	pool.ForStatic(n, func(worker, lo, hi int) {
+		faultinject.Fire(faultinject.SiteBuildFill)
 		t := time.Now()
 		maxs[worker] = maxInDegree(g, lo, hi)
 		c := &clk[worker]
@@ -522,6 +528,7 @@ func rankByInDegreePar(g *graph.Graph, pool *sched.Pool, clk []buildClock) []gra
 	k := maxDeg + 1
 	counts := make([]int64, w*k)
 	pool.ForStatic(n, func(worker, lo, hi int) {
+		faultinject.Fire(faultinject.SiteBuildFill)
 		t := time.Now()
 		countDegrees(g, lo, hi, counts[worker*k:(worker+1)*k])
 		c := &clk[worker]
@@ -530,6 +537,7 @@ func rankByInDegreePar(g *graph.Graph, pool *sched.Pool, clk []buildClock) []gra
 	// Fold per-worker histograms into per-degree totals.
 	tot := make([]int64, k)
 	pool.ForStatic(k, func(worker, lo, hi int) {
+		faultinject.Fire(faultinject.SiteBuildFill)
 		t := time.Now()
 		for d := lo; d < hi; d++ {
 			var s int64
@@ -544,6 +552,7 @@ func rankByInDegreePar(g *graph.Graph, pool *sched.Pool, clk []buildClock) []gra
 	descendingStarts(tot)
 	// Worker i's run of degree d starts after the runs of workers < i.
 	pool.ForStatic(k, func(worker, lo, hi int) {
+		faultinject.Fire(faultinject.SiteBuildFill)
 		t := time.Now()
 		for d := lo; d < hi; d++ {
 			off := tot[d]
@@ -558,6 +567,7 @@ func rankByInDegreePar(g *graph.Graph, pool *sched.Pool, clk []buildClock) []gra
 	})
 	ranked := make([]graph.VID, n)
 	pool.ForStatic(n, func(worker, lo, hi int) {
+		faultinject.Fire(faultinject.SiteBuildFill)
 		t := time.Now()
 		scatterRank(g, lo, hi, counts[worker*k:(worker+1)*k], ranked)
 		c := &clk[worker]
@@ -852,6 +862,7 @@ func buildFlippedBlocks(g *graph.Graph, ih *IHTL, numBlocks int, pool *sched.Poo
 		cursors[blk] = make([]int64, nsrc)
 	}
 	pool.ForStatic(nsrc, func(worker, lo, hi int) {
+		faultinject.Fire(faultinject.SiteBuildFill)
 		t := time.Now()
 		for blk := range cursors {
 			copy(cursors[blk][lo:hi], ih.Blocks[blk].Index[lo:hi])
@@ -969,6 +980,7 @@ func buildSparseBlock(g *graph.Graph, ih *IHTL, pool *sched.Pool, clk []buildClo
 	}
 	idx := sp.Index
 	pool.ForStatic(n, func(worker, lo, hi int) {
+		faultinject.Fire(faultinject.SiteBuildFill)
 		t := time.Now()
 		for i := lo; i < hi; i++ {
 			idx[i+1] = int64(g.InDegree(ih.OldID[destLo+i]))
@@ -995,6 +1007,7 @@ func buildSparseBlock(g *graph.Graph, ih *IHTL, pool *sched.Pool, clk []buildClo
 	w := pool.Workers()
 	counts := make([]int64, w+1)
 	pool.ForStatic(n, func(worker, lo, hi int) {
+		faultinject.Fire(faultinject.SiteBuildFill)
 		t := time.Now()
 		counts[worker+1] = countHeavyRows(sp.Index, sp.HeavyDeg, lo, hi)
 		c := &clk[worker]
@@ -1005,6 +1018,7 @@ func buildSparseBlock(g *graph.Graph, ih *IHTL, pool *sched.Pool, clk []buildClo
 	}
 	sp.Heavy = make([]int32, counts[w])
 	pool.ForStatic(n, func(worker, lo, hi int) {
+		faultinject.Fire(faultinject.SiteBuildFill)
 		t := time.Now()
 		fillHeavyRows(sp.Index, sp.HeavyDeg, lo, hi, sp.Heavy, int(counts[worker]))
 		c := &clk[worker]

@@ -25,6 +25,7 @@ import (
 	"ihtl/internal/compress"
 	"ihtl/internal/graph"
 	"ihtl/internal/spmv"
+	"ihtl/internal/unchecked"
 )
 
 // BlockEncoding selects how an Engine stores and traverses the
@@ -305,17 +306,20 @@ func (e *Engine) Encoding() BlockEncoding { return e.encoding }
 // construction, so the steady state allocates nothing.
 //
 //ihtl:noalloc
+//ihtl:nobce
+//ihtl:noescape
 func (e *Engine) pushTaskEnc(w int, bt *blockTask, fb *FlippedBlock, src, buf []float64) {
-	sc := &e.encScratch[w]
+	sc := unchecked.PtrAt(e.encScratch, w)
 	nsrc, _ := fb.Enc.DecodeChunkCSR(bt.chunk, sc.sIdx, sc.dsts)
 	sIdx, dsts := sc.sIdx, sc.dsts
 	for s := 0; s < nsrc; s++ {
-		x := src[bt.lo+s]
+		x := unchecked.At(src, bt.lo+s)
 		if spmv.SkipZero(x) {
 			continue
 		}
-		for i := sIdx[s]; i < sIdx[s+1]; i++ {
-			buf[dsts[i]] += x
+		end := unchecked.At(sIdx, s+1)
+		for i := unchecked.At(sIdx, s); i < end; i++ {
+			unchecked.AddAt(buf, int(unchecked.At(dsts, int(i))), x)
 		}
 	}
 }
@@ -324,17 +328,20 @@ func (e *Engine) pushTaskEnc(w int, bt *blockTask, fb *FlippedBlock, src, buf []
 // CAS straight into dst.
 //
 //ihtl:noalloc
+//ihtl:nobce
+//ihtl:noescape
 func (e *Engine) pushTaskEncAtomic(w int, bt *blockTask, fb *FlippedBlock, src, dst []float64) {
-	sc := &e.encScratch[w]
+	sc := unchecked.PtrAt(e.encScratch, w)
 	nsrc, _ := fb.Enc.DecodeChunkCSR(bt.chunk, sc.sIdx, sc.dsts)
 	sIdx, dsts := sc.sIdx, sc.dsts
 	for s := 0; s < nsrc; s++ {
-		x := src[bt.lo+s]
+		x := unchecked.At(src, bt.lo+s)
 		if spmv.SkipZero(x) {
 			continue
 		}
-		for i := sIdx[s]; i < sIdx[s+1]; i++ {
-			spmv.AtomicAddFloat64(&dst[dsts[i]], x)
+		end := unchecked.At(sIdx, s+1)
+		for i := unchecked.At(sIdx, s); i < end; i++ {
+			spmv.AtomicAddFloat64(unchecked.PtrAt(dst, int(unchecked.At(dsts, int(i)))), x)
 		}
 	}
 }
@@ -342,21 +349,22 @@ func (e *Engine) pushTaskEncAtomic(w int, bt *blockTask, fb *FlippedBlock, src, 
 // pushTaskEncBatch is pushTaskEnc with K-wide lanes.
 //
 //ihtl:noalloc
+//ihtl:nobce
+//ihtl:noescape
 func (e *Engine) pushTaskEncBatch(w, k int, bt *blockTask, fb *FlippedBlock, src, buf []float64) {
-	sc := &e.encScratch[w]
+	sc := unchecked.PtrAt(e.encScratch, w)
 	nsrc, _ := fb.Enc.DecodeChunkCSR(bt.chunk, sc.sIdx, sc.dsts)
 	sIdx, dsts := sc.sIdx, sc.dsts
 	for s := 0; s < nsrc; s++ {
-		sb := (bt.lo + s) * k
-		xs := src[sb : sb+k : sb+k]
+		xs := unchecked.SliceAt(src, (bt.lo+s)*k, k)
 		if spmv.SkipZeroLanes(xs) {
 			continue
 		}
-		for i := sIdx[s]; i < sIdx[s+1]; i++ {
-			db := int(dsts[i]) * k
-			acc := buf[db : db+k : db+k]
+		end := unchecked.At(sIdx, s+1)
+		for i := unchecked.At(sIdx, s); i < end; i++ {
+			db := int(unchecked.At(dsts, int(i))) * k
 			for j, x := range xs {
-				acc[j] += x
+				unchecked.AddAt(buf, db+j, x)
 			}
 		}
 	}
@@ -365,20 +373,22 @@ func (e *Engine) pushTaskEncBatch(w, k int, bt *blockTask, fb *FlippedBlock, src
 // pushTaskEncAtomicBatch is pushTaskEncAtomic with K-wide lanes.
 //
 //ihtl:noalloc
+//ihtl:nobce
+//ihtl:noescape
 func (e *Engine) pushTaskEncAtomicBatch(w, k int, bt *blockTask, fb *FlippedBlock, src, dst []float64) {
-	sc := &e.encScratch[w]
+	sc := unchecked.PtrAt(e.encScratch, w)
 	nsrc, _ := fb.Enc.DecodeChunkCSR(bt.chunk, sc.sIdx, sc.dsts)
 	sIdx, dsts := sc.sIdx, sc.dsts
 	for s := 0; s < nsrc; s++ {
-		sb := (bt.lo + s) * k
-		xs := src[sb : sb+k : sb+k]
+		xs := unchecked.SliceAt(src, (bt.lo+s)*k, k)
 		if spmv.SkipZeroLanes(xs) {
 			continue
 		}
-		for i := sIdx[s]; i < sIdx[s+1]; i++ {
-			db := int(dsts[i]) * k
+		end := unchecked.At(sIdx, s+1)
+		for i := unchecked.At(sIdx, s); i < end; i++ {
+			db := int(unchecked.At(dsts, int(i))) * k
 			for j, x := range xs {
-				spmv.AtomicAddFloat64(&dst[db+j], x)
+				spmv.AtomicAddFloat64(unchecked.PtrAt(dst, db+j), x)
 			}
 		}
 	}
@@ -391,13 +401,15 @@ func (e *Engine) pushTaskEncAtomicBatch(w, k int, bt *blockTask, fb *FlippedBloc
 // inputs. No scratch: the decode IS the traversal.
 //
 //ihtl:noalloc
+//ihtl:nobce
+//ihtl:noescape
 func (e *Engine) sparseRowSumEnc(i int, src []float64) float64 {
 	data := e.ih.Sparse.Enc.Data
-	pos := e.sparseRowOff[i]
+	pos := unchecked.At(e.sparseRowOff, i)
 	var deg uint64
 	var shift uint
 	for {
-		b := data[pos]
+		b := unchecked.At(data, int(pos))
 		pos++
 		if b < 0x80 {
 			deg |= uint64(b) << shift
@@ -412,7 +424,7 @@ func (e *Engine) sparseRowSumEnc(i int, src []float64) float64 {
 		var gap uint64
 		shift = 0
 		for {
-			b := data[pos]
+			b := unchecked.At(data, int(pos))
 			pos++
 			if b < 0x80 {
 				gap |= uint64(b) << shift
@@ -422,7 +434,7 @@ func (e *Engine) sparseRowSumEnc(i int, src []float64) float64 {
 			shift += 7
 		}
 		prev += uint32(gap)
-		sum += src[prev]
+		sum += unchecked.At(src, int(prev))
 	}
 	return sum
 }
@@ -431,13 +443,15 @@ func (e *Engine) sparseRowSumEnc(i int, src []float64) float64 {
 // into out (the row's dst lanes, already zeroed by the caller).
 //
 //ihtl:noalloc
+//ihtl:nobce
+//ihtl:noescape
 func (e *Engine) sparseRowAccEnc(i, k int, src, out []float64) {
 	data := e.ih.Sparse.Enc.Data
-	pos := e.sparseRowOff[i]
+	pos := unchecked.At(e.sparseRowOff, i)
 	var deg uint64
 	var shift uint
 	for {
-		b := data[pos]
+		b := unchecked.At(data, int(pos))
 		pos++
 		if b < 0x80 {
 			deg |= uint64(b) << shift
@@ -451,7 +465,7 @@ func (e *Engine) sparseRowAccEnc(i, k int, src, out []float64) {
 		var gap uint64
 		shift = 0
 		for {
-			b := data[pos]
+			b := unchecked.At(data, int(pos))
 			pos++
 			if b < 0x80 {
 				gap |= uint64(b) << shift
@@ -461,10 +475,9 @@ func (e *Engine) sparseRowAccEnc(i, k int, src, out []float64) {
 			shift += 7
 		}
 		prev += uint32(gap)
-		sb := int(prev) * k
-		xs := src[sb : sb+k : sb+k]
+		xs := unchecked.SliceAt(src, int(prev)*k, k)
 		for j, x := range xs {
-			out[j] += x
+			unchecked.AddAt(out, j, x)
 		}
 	}
 }

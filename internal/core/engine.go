@@ -677,16 +677,7 @@ func (e *Engine) fusedWorkerBuffered(w int) {
 			if e.varint {
 				e.pushTaskEnc(w, bt, fb, src, buf)
 			} else {
-				dsts := fb.Dsts
-				for s := bt.lo; s < bt.hi; s++ {
-					x := src[s]
-					if spmv.SkipZero(x) {
-						continue
-					}
-					for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
-						buf[dsts[i]] += x
-					}
-				}
+				pushTaskFlat(bt, fb, src, buf)
 			}
 			if bt.dHi > bt.dLo {
 				dr := &e.dirty[w*nb+bt.block]
@@ -798,16 +789,7 @@ func (e *Engine) fusedWorkerAtomic(w int) {
 				e.pushTaskEncAtomic(w, bt, fb, src, dst)
 				continue
 			}
-			dsts := fb.Dsts
-			for s := bt.lo; s < bt.hi; s++ {
-				x := src[s]
-				if spmv.SkipZero(x) {
-					continue
-				}
-				for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
-					spmv.AtomicAddFloat64(&dst[dsts[i]], x)
-				}
-			}
+			pushTaskFlatAtomic(bt, fb, src, dst)
 		}
 	}
 	t2 := time.Now()
@@ -847,6 +829,7 @@ func (e *Engine) stepPhased(src, dst []float64) {
 	if e.atomicFlipped {
 		// Ablation path: skip the buffers and CAS straight into the
 		// hub data. Requires zeroed hub slots first.
+		//ihtl:allow-nosite trivial zeroing sweep with no recovery path of its own
 		e.pool.ForStatic(ih.NumHubs, func(w, lo, hi int) {
 			clear(dst[lo:hi])
 		})
@@ -857,16 +840,7 @@ func (e *Engine) stepPhased(src, dst []float64) {
 				e.pushTaskEncAtomic(w, bt, fb, src, dst)
 				return
 			}
-			dsts := fb.Dsts
-			for s := bt.lo; s < bt.hi; s++ {
-				x := src[s]
-				if spmv.SkipZero(x) {
-					continue
-				}
-				for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
-					spmv.AtomicAddFloat64(&dst[dsts[i]], x)
-				}
-			}
+			pushTaskFlatAtomic(bt, fb, src, dst)
 		})
 	} else {
 		e.pool.ForEachPart(len(e.blockTasks), func(w, task int) {
@@ -877,16 +851,7 @@ func (e *Engine) stepPhased(src, dst []float64) {
 				e.pushTaskEnc(w, bt, fb, src, buf)
 				return
 			}
-			dsts := fb.Dsts
-			for s := bt.lo; s < bt.hi; s++ {
-				x := src[s]
-				if spmv.SkipZero(x) {
-					continue
-				}
-				for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
-					buf[dsts[i]] += x
-				}
-			}
+			pushTaskFlat(bt, fb, src, buf)
 		})
 	}
 	t1 := time.Now()
@@ -898,6 +863,7 @@ func (e *Engine) stepPhased(src, dst []float64) {
 	if !e.atomicFlipped {
 		bufs := e.bufs
 		e.pool.ForStatic(ih.NumHubs, func(w, lo, hi int) {
+			faultinject.Fire(faultinject.SiteMergeBlock)
 			for h := lo; h < hi; h++ {
 				sum := 0.0
 				for t := range bufs {

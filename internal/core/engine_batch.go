@@ -225,21 +225,7 @@ func (e *Engine) fusedWorkerBufferedBatch(b *batchState, w int) {
 			if e.varint {
 				e.pushTaskEncBatch(w, k, bt, fb, src, buf)
 			} else {
-				dsts := fb.Dsts
-				for s := bt.lo; s < bt.hi; s++ {
-					sb := s * k
-					xs := src[sb : sb+k : sb+k]
-					if spmv.SkipZeroLanes(xs) {
-						continue
-					}
-					for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
-						db := int(dsts[i]) * k
-						acc := buf[db : db+k : db+k]
-						for j, x := range xs {
-							acc[j] += x
-						}
-					}
-				}
+				pushTaskFlatBatch(k, bt, fb, src, buf)
 			}
 			if bt.dHi > bt.dLo {
 				dr := &b.dirty[w*nb+bt.block]
@@ -329,20 +315,7 @@ func (e *Engine) fusedWorkerAtomicBatch(b *batchState, w int) {
 				e.pushTaskEncAtomicBatch(w, k, bt, fb, src, dst)
 				continue
 			}
-			dsts := fb.Dsts
-			for s := bt.lo; s < bt.hi; s++ {
-				sb := s * k
-				xs := src[sb : sb+k : sb+k]
-				if spmv.SkipZeroLanes(xs) {
-					continue
-				}
-				for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
-					db := int(dsts[i]) * k
-					for j, x := range xs {
-						spmv.AtomicAddFloat64(&dst[db+j], x)
-					}
-				}
-			}
+			pushTaskFlatAtomicBatch(k, bt, fb, src, dst)
 		}
 	}
 	t2 := time.Now()
@@ -361,6 +334,7 @@ func (e *Engine) stepPhasedBatch(b *batchState, src, dst []float64) {
 	// Phase 1 — K-wide push traversal of the flipped blocks.
 	t0 := time.Now()
 	if e.atomicFlipped {
+		//ihtl:allow-nosite trivial zeroing sweep with no recovery path of its own
 		e.pool.ForStatic(ih.NumHubs*k, func(w, lo, hi int) {
 			clear(dst[lo:hi])
 		})
@@ -371,20 +345,7 @@ func (e *Engine) stepPhasedBatch(b *batchState, src, dst []float64) {
 				e.pushTaskEncAtomicBatch(w, k, bt, fb, src, dst)
 				return
 			}
-			dsts := fb.Dsts
-			for s := bt.lo; s < bt.hi; s++ {
-				sb := s * k
-				xs := src[sb : sb+k : sb+k]
-				if spmv.SkipZeroLanes(xs) {
-					continue
-				}
-				for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
-					db := int(dsts[i]) * k
-					for j, x := range xs {
-						spmv.AtomicAddFloat64(&dst[db+j], x)
-					}
-				}
-			}
+			pushTaskFlatAtomicBatch(k, bt, fb, src, dst)
 		})
 	} else {
 		e.pool.ForEachPart(len(e.blockTasks), func(w, task int) {
@@ -395,21 +356,7 @@ func (e *Engine) stepPhasedBatch(b *batchState, src, dst []float64) {
 				e.pushTaskEncBatch(w, k, bt, fb, src, buf)
 				return
 			}
-			dsts := fb.Dsts
-			for s := bt.lo; s < bt.hi; s++ {
-				sb := s * k
-				xs := src[sb : sb+k : sb+k]
-				if spmv.SkipZeroLanes(xs) {
-					continue
-				}
-				for i := fb.Index[s]; i < fb.Index[s+1]; i++ {
-					db := int(dsts[i]) * k
-					acc := buf[db : db+k : db+k]
-					for j, x := range xs {
-						acc[j] += x
-					}
-				}
-			}
+			pushTaskFlatBatch(k, bt, fb, src, buf)
 		})
 	}
 	t1 := time.Now()
@@ -420,6 +367,7 @@ func (e *Engine) stepPhasedBatch(b *batchState, src, dst []float64) {
 	if !e.atomicFlipped {
 		bufs := b.bufs
 		e.pool.ForStatic(ih.NumHubs*k, func(w, lo, hi int) {
+			faultinject.Fire(faultinject.SiteMergeBlock)
 			for i := lo; i < hi; i++ {
 				sum := 0.0
 				for t := range bufs {

@@ -313,3 +313,55 @@ func TestFaultedStepsLeakNoGoroutines(t *testing.T) {
 	}
 	t.Fatalf("goroutines did not settle: %d, base %d", runtime.NumGoroutine(), base)
 }
+
+// TestBuildWithCtxInjectedPanic lands injected panics on the
+// SiteBuildFill site — the static relabel/rank/CSR-fill passes inside
+// BuildWithCtx's Fallible region — and checks the build returns the
+// fault as an error instead of crashing, after which an uninjected
+// build of the same graph succeeds and matches the reference exactly.
+func TestBuildWithCtxInjectedPanic(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(11, 8, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refIH, err := BuildWith(g, Params{}, testPool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for after := int64(0); after < 8; after++ {
+		plan := faultinject.NewPlan(faultinject.Rule{
+			Site: faultinject.SiteBuildFill, Kind: faultinject.Panic, After: after,
+		})
+		faultinject.Activate(plan)
+		ih, err := BuildWithCtx(context.Background(), g, Params{}, testPool)
+		faultinject.Deactivate()
+		if plan.Fired(faultinject.SiteBuildFill) == 0 {
+			t.Fatalf("after=%d: SiteBuildFill never fired; the build fills lost their instrumentation", after)
+		}
+		if err == nil {
+			t.Fatalf("after=%d: build succeeded despite an injected panic", after)
+		}
+		var ip *faultinject.InjectedPanic
+		if !errors.As(err, &ip) || ip.Site != faultinject.SiteBuildFill {
+			t.Fatalf("after=%d: error does not unwrap to the injected fault: %v", after, err)
+		}
+		if ih != nil {
+			t.Fatalf("after=%d: got a non-nil IHTL alongside the error", after)
+		}
+		// Recovery invariant: the next clean build is bit-for-bit the
+		// reference (parallel builds are deterministic).
+		clean, err := BuildWithCtx(context.Background(), g, Params{}, testPool)
+		if err != nil {
+			t.Fatalf("after=%d: clean build: %v", after, err)
+		}
+		if clean.NumHubs != refIH.NumHubs || clean.NumVWEH != refIH.NumVWEH || clean.NumFV != refIH.NumFV {
+			t.Fatalf("after=%d: partition %d/%d/%d, want %d/%d/%d", after,
+				clean.NumHubs, clean.NumVWEH, clean.NumFV, refIH.NumHubs, refIH.NumVWEH, refIH.NumFV)
+		}
+		for v := range refIH.NewID {
+			if clean.NewID[v] != refIH.NewID[v] {
+				t.Fatalf("after=%d: NewID[%d] = %d, want %d", after, v, clean.NewID[v], refIH.NewID[v])
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"ihtl/internal/spmv"
+	"ihtl/internal/unchecked"
+)
+
+// The flat (uncompressed) flipped-push kernels: one encoded task's
+// worth of src[s] -> hub scatter, shared by the fused workers and the
+// phased ablation so the inner loop exists exactly once per shape.
+// These are the Algorithm 3 lines 1-4 inner loops; together with
+// their varint twins in encoding.go they are //ihtl:nobce — the
+// ihtlvet -bce gate pins them free of per-edge bounds checks, which
+// is why every access goes through the spmv unchecked accessors
+// (indices are graph data no BCE analysis can prove in range; see
+// spmv/unchecked.go for the safety argument).
+
+// pushTaskFlat pushes flat task bt of block fb into a worker-owned
+// hub buffer.
+//
+//ihtl:noalloc
+//ihtl:nobce
+//ihtl:noescape
+func pushTaskFlat(bt *blockTask, fb *FlippedBlock, src, buf []float64) {
+	idx, dsts := fb.Index, fb.Dsts
+	for s := bt.lo; s < bt.hi; s++ {
+		x := unchecked.At(src, s)
+		if spmv.SkipZero(x) {
+			continue
+		}
+		end := unchecked.At(idx, s+1)
+		for i := unchecked.At(idx, s); i < end; i++ {
+			unchecked.AddAt(buf, int(unchecked.At(dsts, int(i))), x)
+		}
+	}
+}
+
+// pushTaskFlatAtomic is pushTaskFlat for the AtomicFlipped ablation:
+// CAS straight into the shared dst.
+//
+//ihtl:noalloc
+//ihtl:nobce
+//ihtl:noescape
+func pushTaskFlatAtomic(bt *blockTask, fb *FlippedBlock, src, dst []float64) {
+	idx, dsts := fb.Index, fb.Dsts
+	for s := bt.lo; s < bt.hi; s++ {
+		x := unchecked.At(src, s)
+		if spmv.SkipZero(x) {
+			continue
+		}
+		end := unchecked.At(idx, s+1)
+		for i := unchecked.At(idx, s); i < end; i++ {
+			spmv.AtomicAddFloat64(unchecked.PtrAt(dst, int(unchecked.At(dsts, int(i)))), x)
+		}
+	}
+}
+
+// pushTaskFlatBatch is pushTaskFlat with K-wide lanes.
+//
+//ihtl:noalloc
+//ihtl:nobce
+//ihtl:noescape
+func pushTaskFlatBatch(k int, bt *blockTask, fb *FlippedBlock, src, buf []float64) {
+	idx, dsts := fb.Index, fb.Dsts
+	for s := bt.lo; s < bt.hi; s++ {
+		xs := unchecked.SliceAt(src, s*k, k)
+		if spmv.SkipZeroLanes(xs) {
+			continue
+		}
+		end := unchecked.At(idx, s+1)
+		for i := unchecked.At(idx, s); i < end; i++ {
+			db := int(unchecked.At(dsts, int(i))) * k
+			for j, x := range xs {
+				unchecked.AddAt(buf, db+j, x)
+			}
+		}
+	}
+}
+
+// pushTaskFlatAtomicBatch is pushTaskFlatAtomic with K-wide lanes.
+//
+//ihtl:noalloc
+//ihtl:nobce
+//ihtl:noescape
+func pushTaskFlatAtomicBatch(k int, bt *blockTask, fb *FlippedBlock, src, dst []float64) {
+	idx, dsts := fb.Index, fb.Dsts
+	for s := bt.lo; s < bt.hi; s++ {
+		xs := unchecked.SliceAt(src, s*k, k)
+		if spmv.SkipZeroLanes(xs) {
+			continue
+		}
+		end := unchecked.At(idx, s+1)
+		for i := unchecked.At(idx, s); i < end; i++ {
+			db := int(unchecked.At(dsts, int(i))) * k
+			for j, x := range xs {
+				spmv.AtomicAddFloat64(unchecked.PtrAt(dst, db+j), x)
+			}
+		}
+	}
+}

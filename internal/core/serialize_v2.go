@@ -492,6 +492,8 @@ func (c *v2cursor) chunked(label string, maxDst uint32, wantSrc int, wantEdges i
 // parseV2 decodes (mostly: aliases) a version-2 byte range into an
 // encoded-only IHTL, re-running the structural checks of the v1 reader
 // plus the chunked-stream validation.
+//
+//ihtl:nopanic
 func parseV2(data []byte) (*IHTL, error) {
 	c := &v2cursor{data: data}
 	magic, err := c.u64()

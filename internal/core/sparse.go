@@ -39,6 +39,7 @@ import (
 	"ihtl/internal/faultinject"
 	"ihtl/internal/sched"
 	"ihtl/internal/spmv"
+	"ihtl/internal/unchecked"
 )
 
 // SparseKernel selects the sparse-block kernel of an Engine.
@@ -328,20 +329,25 @@ func (e *Engine) sparsePullWorker(w int, src, dst []float64) {
 // inner loop of the uniform and degree-aware pull schedules.
 //
 //ihtl:noalloc
+//ihtl:nobce
+//ihtl:noescape
 func (e *Engine) sparsePullRange(lo, hi int, src, dst []float64) {
 	sp := &e.ih.Sparse
+	base := sp.DestLo
 	if e.varint {
 		for i := lo; i < hi; i++ {
-			dst[sp.DestLo+i] = e.sparseRowSumEnc(i, src)
+			unchecked.SetAt(dst, base+i, e.sparseRowSumEnc(i, src))
 		}
 		return
 	}
+	idx, srcs := sp.Index, sp.Srcs
 	for i := lo; i < hi; i++ {
 		sum := 0.0
-		for j := sp.Index[i]; j < sp.Index[i+1]; j++ {
-			sum += src[sp.Srcs[j]]
+		end := unchecked.At(idx, i+1)
+		for j := unchecked.At(idx, i); j < end; j++ {
+			sum += unchecked.At(src, int(unchecked.At(srcs, int(j))))
 		}
-		dst[sp.DestLo+i] = sum
+		unchecked.SetAt(dst, base+i, sum)
 	}
 }
 
@@ -370,22 +376,29 @@ func (e *Engine) sparseHeavyWorker(w int, src, dst []float64) {
 }
 
 //ihtl:noalloc
+//ihtl:nobce
+//ihtl:noescape
 func (e *Engine) sparseHeavyPart(p int, src, dst []float64) {
 	sp := &e.ih.Sparse
+	base := sp.DestLo
+	heavy := sp.Heavy
+	qLo, qHi := unchecked.At(e.heavyBounds, p), unchecked.At(e.heavyBounds, p+1)
 	if e.varint {
-		for _, row := range sp.Heavy[e.heavyBounds[p]:e.heavyBounds[p+1]] {
-			i := int(row)
-			dst[sp.DestLo+i] = e.sparseRowSumEnc(i, src)
+		for q := qLo; q < qHi; q++ {
+			i := int(unchecked.At(heavy, q))
+			unchecked.SetAt(dst, base+i, e.sparseRowSumEnc(i, src))
 		}
 		return
 	}
-	for _, row := range sp.Heavy[e.heavyBounds[p]:e.heavyBounds[p+1]] {
-		i := int(row)
+	idx, srcs := sp.Index, sp.Srcs
+	for q := qLo; q < qHi; q++ {
+		i := int(unchecked.At(heavy, q))
 		sum := 0.0
-		for j := sp.Index[i]; j < sp.Index[i+1]; j++ {
-			sum += src[sp.Srcs[j]]
+		end := unchecked.At(idx, i+1)
+		for j := unchecked.At(idx, i); j < end; j++ {
+			sum += unchecked.At(src, int(unchecked.At(srcs, int(j))))
 		}
-		dst[sp.DestLo+i] = sum
+		unchecked.SetAt(dst, base+i, sum)
 	}
 }
 
@@ -411,27 +424,34 @@ func (e *Engine) sparseLightWorker(w int, src, dst []float64) {
 }
 
 //ihtl:noalloc
+//ihtl:nobce
+//ihtl:noescape
 func (e *Engine) sparseLightPart(p int, src, dst []float64) {
 	sp := &e.ih.Sparse
 	heavy := sp.HeavyDeg
+	base := sp.DestLo
+	idx := sp.Index
+	iLo, iHi := unchecked.At(e.lightBounds, p), unchecked.At(e.lightBounds, p+1)
 	if e.varint {
-		for i := e.lightBounds[p]; i < e.lightBounds[p+1]; i++ {
-			if sp.Index[i+1]-sp.Index[i] >= heavy {
+		for i := iLo; i < iHi; i++ {
+			if unchecked.At(idx, i+1)-unchecked.At(idx, i) >= heavy {
 				continue
 			}
-			dst[sp.DestLo+i] = e.sparseRowSumEnc(i, src)
+			unchecked.SetAt(dst, base+i, e.sparseRowSumEnc(i, src))
 		}
 		return
 	}
-	for i := e.lightBounds[p]; i < e.lightBounds[p+1]; i++ {
-		if sp.Index[i+1]-sp.Index[i] >= heavy {
+	srcs := sp.Srcs
+	for i := iLo; i < iHi; i++ {
+		lo, end := unchecked.At(idx, i), unchecked.At(idx, i+1)
+		if end-lo >= heavy {
 			continue
 		}
 		sum := 0.0
-		for j := sp.Index[i]; j < sp.Index[i+1]; j++ {
-			sum += src[sp.Srcs[j]]
+		for j := lo; j < end; j++ {
+			sum += unchecked.At(src, int(unchecked.At(srcs, int(j))))
 		}
-		dst[sp.DestLo+i] = sum
+		unchecked.SetAt(dst, base+i, sum)
 	}
 }
 
@@ -459,25 +479,32 @@ func (e *Engine) pbBinWorker(w int, src []float64) {
 // pull kernel becomes a bounded set of sequential segment writes.
 //
 //ihtl:noalloc
+//ihtl:nobce
+//ihtl:noescape
 func (e *Engine) pbBinChunk(c int, src []float64) {
 	pb := e.pb
 	C := pb.numChunks
+	binCur, binOff := pb.binCur, pb.binOff
 	for b := 0; b < pb.numBuckets; b++ {
-		pb.binCur[b*C+c] = pb.binOff[b*C+c]
+		unchecked.SetAt(binCur, b*C+c, unchecked.At(binOff, b*C+c))
 	}
 	shift := pb.shift
-	for s := pb.chunkBounds[c]; s < pb.chunkBounds[c+1]; s++ {
-		x := src[s]
+	pushIndex, pushRows := pb.pushIndex, pb.pushRows
+	binRows, binVals := pb.binRows, pb.binVals
+	sLo, sHi := unchecked.At(pb.chunkBounds, c), unchecked.At(pb.chunkBounds, c+1)
+	for s := sLo; s < sHi; s++ {
+		x := unchecked.At(src, s)
 		if spmv.SkipZero(x) {
 			continue
 		}
-		for i := pb.pushIndex[s]; i < pb.pushIndex[s+1]; i++ {
-			row := pb.pushRows[i]
+		end := unchecked.At(pushIndex, s+1)
+		for i := unchecked.At(pushIndex, s); i < end; i++ {
+			row := unchecked.At(pushRows, int(i))
 			seg := int(row>>shift)*C + c
-			p := pb.binCur[seg]
-			pb.binRows[p] = row
-			pb.binVals[p] = x
-			pb.binCur[seg] = p + 1
+			p := unchecked.At(binCur, seg)
+			unchecked.SetAt(binRows, int(p), row)
+			unchecked.SetAt(binVals, int(p), x)
+			unchecked.SetAt(binCur, seg, p+1)
 		}
 	}
 }
@@ -506,6 +533,8 @@ func (e *Engine) pbDrainWorker(w int, dst []float64) {
 // order of the pull kernel.
 //
 //ihtl:noalloc
+//ihtl:nobce
+//ihtl:noescape
 func (e *Engine) pbDrainBucket(b int, dst []float64) {
 	pb := e.pb
 	sp := &e.ih.Sparse
@@ -516,12 +545,17 @@ func (e *Engine) pbDrainBucket(b int, dst []float64) {
 		rowHi = n
 	}
 	base := sp.DestLo
-	clear(dst[base+rowLo : base+rowHi])
+	// clear keeps the runtime memclr; the slice bounds are clamped
+	// above, so the one check here is the deliberate residue.
+	clear(dst[base+rowLo : base+rowHi]) //ihtl:allow-boundscheck clamped range; clear() is the runtime memclr
 	C := pb.numChunks
+	binOff, binCur := pb.binOff, pb.binCur
+	binRows, binVals := pb.binRows, pb.binVals
 	for c := 0; c < C; c++ {
 		seg := b*C + c
-		for p := pb.binOff[seg]; p < pb.binCur[seg]; p++ {
-			dst[base+int(pb.binRows[p])] += pb.binVals[p]
+		end := unchecked.At(binCur, seg)
+		for p := unchecked.At(binOff, seg); p < end; p++ {
+			unchecked.AddAt(dst, base+int(unchecked.At(binRows, int(p))), unchecked.At(binVals, int(p)))
 		}
 	}
 }

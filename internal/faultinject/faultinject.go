@@ -46,7 +46,8 @@ const (
 	// propagation-blocked sparse kernel's drain phase.
 	SiteSparseDrain Site = "core.sparse-drain"
 	// SiteMergeBlock fires once per flipped-block merge (the countdown
-	// release path).
+	// release path), and once per worker range of the phased ablation
+	// path's phase-2 buffer aggregation.
 	SiteMergeBlock Site = "core.merge-block"
 	// SiteStepHealth is the numeric-poison site: Poison is consulted on
 	// the first destination element of every worker's epilogue range
@@ -59,6 +60,10 @@ const (
 	// SiteBuildSort fires once per adjacency-sort chunk during parallel
 	// graph construction.
 	SiteBuildSort Site = "graph.build-sort"
+	// SiteBuildFill fires once per worker range in the static
+	// relabel/rank/CSR-fill passes of parallel iHTL construction, so
+	// fault plans can land inside BuildWithCtx's Fallible region.
+	SiteBuildFill Site = "core.build-fill"
 )
 
 // Kind selects what a rule does when it fires.

@@ -1,0 +1,139 @@
+package faultinject
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestEverySiteExercisedByAFaultSuite pins the other half of the
+// contract the faultsite analyzer checks statically: rule 1 proves
+// every Site* constant is wired into the instrumented code, and this
+// meta-test proves every one is also exercised by a fault-suite test
+// somewhere in the module — a site nothing injects against is a
+// recovery scenario with no coverage. Purely syntactic: it parses the
+// catalog out of this package, then scans every _test.go outside it
+// for selector references to each constant.
+func TestEverySiteExercisedByAFaultSuite(t *testing.T) {
+	root := moduleRoot(t)
+	fset := token.NewFileSet()
+
+	catalog := siteCatalog(t, fset)
+	if len(catalog) == 0 {
+		t.Fatal("no Site* constants found in faultinject.go; the meta-test is miswired")
+	}
+
+	referenced := make(map[string][]string) // site const -> referencing test files
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, "_test.go") || filepath.Dir(path) == filepath.Join(root, "internal", "faultinject") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "faultinject" && catalog[sel.Sel.Name] {
+				refs := referenced[sel.Sel.Name]
+				if len(refs) == 0 || refs[len(refs)-1] != rel {
+					referenced[sel.Sel.Name] = append(refs, rel)
+				}
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var names []string
+	for name := range catalog {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if len(referenced[name]) == 0 {
+			t.Errorf("%s has no fault-suite coverage: no _test.go outside internal/faultinject references it", name)
+		}
+	}
+}
+
+// siteCatalog parses the Site* constants out of this package's
+// non-test files.
+func siteCatalog(t *testing.T, fset *token.FileSet) map[string]bool {
+	t.Helper()
+	out := make(map[string]bool)
+	ents, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, n, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if strings.HasPrefix(name.Name, "Site") && name.Name != "Site" {
+						out[name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// moduleRoot walks up to the nearest go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found above the test directory")
+		}
+		dir = parent
+	}
+}

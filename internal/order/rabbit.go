@@ -60,9 +60,13 @@ func (r RabbitOrder) Permutation(g *graph.Graph) []graph.VID {
 		lst := make([]aggEdge, 0, len(wmap))
 		for u, w := range wmap {
 			lst = append(lst, aggEdge{to: u, w: w})
-			totalW += w
 		}
 		slices.SortFunc(lst, func(a, b aggEdge) int { return cmp.Compare(a.to, b.to) })
+		// Sum after sorting: FP addition is order-sensitive, and map
+		// iteration order would leak into totalW (and the final perm).
+		for _, e := range lst {
+			totalW += e.w
+		}
 		adj[v] = lst
 	}
 	totalW /= 2 // each undirected edge seen from both endpoints

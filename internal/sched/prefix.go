@@ -23,12 +23,14 @@ func PrefixSum(pool *Pool, a []int64) {
 	// offs[i+1] holds block i's total after pass 1, and after the
 	// sequential fold offs[i] is the offset to add to block i.
 	offs := make([]int64, w+1)
+	//ihtl:allow-nosite scan blocks are memory-only; build callers inject via their own fill sites
 	pool.ForStatic(n, func(worker, lo, hi int) {
 		offs[worker+1] = prefixSumBlock(a[lo:hi])
 	})
 	for i := 0; i < w; i++ {
 		offs[i+1] += offs[i]
 	}
+	//ihtl:allow-nosite scan blocks are memory-only; build callers inject via their own fill sites
 	pool.ForStatic(n, func(worker, lo, hi int) {
 		addOffset(a[lo:hi], offs[worker])
 	})

@@ -1,0 +1,33 @@
+//go:build ihtlchecked
+
+// Checked fallbacks for the unchecked kernel accessors (see
+// unchecked.go). Built with -tags=ihtlchecked, every accessor is the
+// plain indexing expression, so a corrupt index panics at the access
+// instead of corrupting memory — the debugging configuration for a
+// suspect build or a kernel under development.
+package unchecked
+
+// PtrAt returns &s[i], checked.
+//
+//ihtl:noalloc
+func PtrAt[T any](s []T, i int) *T { return &s[i] }
+
+// At returns s[i], checked.
+//
+//ihtl:noalloc
+func At[T any](s []T, i int) T { return s[i] }
+
+// SetAt performs s[i] = v, checked.
+//
+//ihtl:noalloc
+func SetAt[T any](s []T, i int, v T) { s[i] = v }
+
+// AddAt performs s[i] += v, checked.
+//
+//ihtl:noalloc
+func AddAt(s []float64, i int, v float64) { s[i] += v }
+
+// SliceAt returns s[i:i+n:i+n], checked.
+//
+//ihtl:noalloc
+func SliceAt[T any](s []T, i, n int) []T { return s[i : i+n : i+n] }

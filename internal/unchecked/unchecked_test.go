@@ -1,0 +1,64 @@
+package unchecked
+
+import "testing"
+
+// TestAccessorsMatchCheckedIndexing pins every accessor to the
+// semantics of the plain indexing expression it replaces, for
+// in-range indices. The suite runs identically under the default
+// build and -tags=ihtlchecked, so both implementations are held to
+// the same contract.
+func TestAccessorsMatchCheckedIndexing(t *testing.T) {
+	s := []float64{10, 20, 30, 40, 50}
+
+	for i := range s {
+		if got := At(s, i); got != s[i] {
+			t.Errorf("At(s, %d) = %v, want %v", i, got, s[i])
+		}
+		if got := PtrAt(s, i); got != &s[i] {
+			t.Errorf("PtrAt(s, %d) = %p, want %p", i, got, &s[i])
+		}
+	}
+
+	SetAt(s, 1, -21)
+	if s[1] != -21 {
+		t.Errorf("SetAt: s[1] = %v, want -21", s[1])
+	}
+
+	AddAt(s, 2, 0.5)
+	if s[2] != 30.5 {
+		t.Errorf("AddAt: s[2] = %v, want 30.5", s[2])
+	}
+
+	sub := SliceAt(s, 1, 3)
+	if len(sub) != 3 || cap(sub) != 3 {
+		t.Fatalf("SliceAt: len/cap = %d/%d, want 3/3", len(sub), cap(sub))
+	}
+	for j := range sub {
+		if &sub[j] != &s[1+j] {
+			t.Errorf("SliceAt: element %d does not alias s[%d]", j, 1+j)
+		}
+	}
+
+	// Writes through the subslice are visible in the parent: same
+	// backing array, as with s[i:i+n:i+n].
+	sub[0] = 99
+	if s[1] != 99 {
+		t.Errorf("SliceAt write: s[1] = %v, want 99", s[1])
+	}
+}
+
+// TestAccessorsGenericTypes exercises a non-float element type so the
+// generic instantiations stay covered.
+func TestAccessorsGenericTypes(t *testing.T) {
+	u := []uint32{7, 8, 9}
+	if got := At(u, 2); got != 9 {
+		t.Errorf("At(u, 2) = %d, want 9", got)
+	}
+	SetAt(u, 0, 42)
+	if u[0] != 42 {
+		t.Errorf("SetAt: u[0] = %d, want 42", u[0])
+	}
+	if got := SliceAt(u, 0, 2); len(got) != 2 || got[0] != 42 || got[1] != 8 {
+		t.Errorf("SliceAt(u, 0, 2) = %v, want [42 8]", got)
+	}
+}
