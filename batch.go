@@ -123,17 +123,16 @@ func NewBatchEngine(g *Graph, pool *Pool, p Params, k int) (*Engine, error) {
 // relabeling is applied internally).
 func PersonalizedPageRank(e *Engine, pool *Pool, sources []VID, opt PageRankOptions) ([][]float64, error) {
 	n := e.NumVertices()
-	ih := e.ih
 	deg := make([]int, n)
 	for nv := 0; nv < n; nv++ {
-		deg[nv] = e.g.OutDegree(ih.OldID[nv])
+		deg[nv] = e.g.OutDegree(e.oldID(nv))
 	}
 	srcNew := make([]int, len(sources))
 	for j, s := range sources {
 		if int(s) < 0 || int(s) >= n {
 			return nil, fmt.Errorf("ihtl: source %d out of range", s)
 		}
-		srcNew[j] = int(ih.NewID[s])
+		srcNew[j] = int(e.newID(s))
 	}
 	res, err := analytics.RunPersonalizedPageRank(e.eng, deg, pool, srcNew, opt)
 	if err != nil {
@@ -144,7 +143,7 @@ func PersonalizedPageRank(e *Engine, pool *Pool, sources []VID, opt PageRankOpti
 	for j := range sources {
 		res.Lane(j, lane)
 		out[j] = make([]float64, n)
-		ih.PermuteToOld(lane, out[j])
+		e.permuteToOld(lane, out[j])
 	}
 	return out, nil
 }

@@ -10,6 +10,9 @@ const (
 	SiteAlpha Site = "test.alpha"
 	// SiteBeta is fired through a helper.
 	SiteBeta Site = "test.beta"
+	// SiteGamma is fired per claimed unit inside a steal-scheduler
+	// claim loop (the sharded engine's exchange dispatch shape).
+	SiteGamma Site = "test.gamma"
 	// SiteOrphan is wired to nothing.
 	SiteOrphan Site = "test.orphan" // want `SiteOrphan is declared but never passed to Fire or Poison`
 	// SiteFuture is intentionally unfired; the waiver keeps it legal.

@@ -91,6 +91,46 @@ func badNamed(p *sched.Pool) {
 	p.Run(silentWorker) // want `dispatch callback reaches no faultinject site`
 }
 
+// goodClaimLoop models the sharded exchange dispatch: a Run callback
+// that claims chunks from a work-stealing scheduler and fires a site
+// once per claimed chunk. The fire inside the claim loop makes the
+// whole dispatch injectable: clean.
+func goodClaimLoop(p *sched.Pool, s *sched.StealScheduler, chunks [][]float64) {
+	p.Run(func(worker int) {
+		for {
+			lo, hi, ok := s.Next(worker, 1)
+			if !ok {
+				return
+			}
+			for c := lo; c < hi; c++ {
+				faultinject.Fire(faultinject.SiteGamma)
+				for i := range chunks[c] {
+					chunks[c][i] = 0
+				}
+			}
+		}
+	})
+}
+
+// badClaimLoop is the same shape without the per-claim fire: the
+// scheduler's claims happen outside the pool layer, so nothing makes
+// this dispatch injectable.
+func badClaimLoop(p *sched.Pool, s *sched.StealScheduler, chunks [][]float64) {
+	p.Run(func(worker int) { // want `dispatch callback reaches no faultinject site`
+		for {
+			lo, hi, ok := s.Next(worker, 1)
+			if !ok {
+				return
+			}
+			for c := lo; c < hi; c++ {
+				for i := range chunks[c] {
+					chunks[c][i] = 0
+				}
+			}
+		}
+	})
+}
+
 // badSiteArg mints a site outside the catalog.
 func badSiteArg() {
 	faultinject.Fire(faultinject.Site("rogue.site")) // want `fault site argument is not a declared faultinject.Site constant`

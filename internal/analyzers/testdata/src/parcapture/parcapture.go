@@ -55,6 +55,51 @@ func good(p *sched.Pool, xs []float64) float64 {
 	return total
 }
 
+// goodExchange models the sharded engine's exchange binning: each
+// worker claims chunks from a steal scheduler and appends into
+// exact-capacity segments through cursor slots owned by the claimed
+// chunk (binCur is indexed by a claim-derived segment, binRows/binVals
+// through that cursor), plus a per-worker clock slot. All writes are
+// keyed by the claimed unit or the worker index: clean.
+func goodExchange(p *sched.Pool, s *sched.StealScheduler, src []float64,
+	binOff, binCur []int64, binRows []uint32, clocks []int64) {
+	nchunks := 4
+	p.Run(func(worker int) {
+		for {
+			clo, chi, ok := s.Next(worker, 1)
+			if !ok {
+				break
+			}
+			for c := clo; c < chi; c++ {
+				for b := 0; b < len(binOff)/nchunks; b++ {
+					seg := b*nchunks + c // claim-derived segment: fine
+					p := binCur[seg]
+					binRows[p] = uint32(b) // through the claimed cursor: fine
+					binCur[seg] = p + 1
+				}
+			}
+		}
+		clocks[worker]++ // worker slot: fine
+	})
+}
+
+// badExchange drops the claim keying: every worker advances one shared
+// cursor, so two workers race on the same slot.
+func badExchange(p *sched.Pool, s *sched.StealScheduler, binRows []uint32, next *int64) {
+	p.Run(func(worker int) {
+		for {
+			clo, chi, ok := s.Next(worker, 1)
+			if !ok {
+				break
+			}
+			for c := clo; c < chi; c++ {
+				binRows[*next] = uint32(c) // want `captured slice binRows`
+				*next++                    // want `captured pointer next`
+			}
+		}
+	})
+}
+
 func suppressed(p *sched.Pool, xs []float64) {
 	first := 0.0
 	p.Run(func(worker int) {

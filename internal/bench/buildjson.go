@@ -39,6 +39,7 @@ type BuildReport struct {
 	Workers    int           `json:"workers"`
 	GoMaxProcs int           `json:"gomaxprocs"`
 	Iters      int           `json:"iters"`
+	Host       *HostInfo     `json:"host,omitempty"`
 	Results    []BuildResult `json:"results"`
 }
 
@@ -53,6 +54,7 @@ func RunBuildJSON(env *Env, datasets []*Dataset) (*BuildReport, error) {
 		Workers:    env.Pool.Workers(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Iters:      env.Iters,
+		Host:       CollectHost(env.Pool.Workers()),
 	}
 	for _, d := range datasets {
 		g, err := d.Load()

@@ -63,6 +63,7 @@ type EncReport struct {
 	Workers    int         `json:"workers"`
 	GoMaxProcs int         `json:"gomaxprocs"`
 	Iters      int         `json:"iters"`
+	Host       *HostInfo   `json:"host,omitempty"`
 	Results    []EncResult `json:"results"`
 	Mmap       *EncMmap    `json:"mmap,omitempty"`
 }
@@ -74,6 +75,7 @@ func RunEncJSON(env *Env, datasets []*Dataset) (*EncReport, error) {
 		Workers:    env.Pool.Workers(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Iters:      env.Iters,
+		Host:       CollectHost(env.Pool.Workers()),
 	}
 	for _, d := range datasets {
 		g, err := d.Load()

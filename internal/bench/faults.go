@@ -86,6 +86,7 @@ func RunFaultsJSON(env *Env, d *Dataset, seed uint64) (*StepReport, error) {
 		Workers:    env.Pool.Workers(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Iters:      iters,
+		Host:       CollectHost(env.Pool.Workers()),
 	}
 	emit := func(scenario string, elapsed time.Duration) {
 		ns := elapsed.Nanoseconds() / int64(iters)

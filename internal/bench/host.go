@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"bufio"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// HostInfo identifies the machine and runtime configuration a report
+// was measured on, so numbers tracked across commits in results/ are
+// comparable only when the host matches. It is embedded in every
+// JSON report ihtlbench writes.
+type HostInfo struct {
+	// GoVersion is runtime.Version() of the measuring binary.
+	GoVersion string `json:"go_version"`
+	// GoOS/GoArch are the build target.
+	GoOS   string `json:"goos"`
+	GoArch string `json:"goarch"`
+	// CPUModel is the processor model string (from /proc/cpuinfo on
+	// Linux; empty when unavailable).
+	CPUModel string `json:"cpu_model,omitempty"`
+	// NumCPU is runtime.NumCPU(), GoMaxProcs the scheduler width at
+	// measurement time, Workers the benchmark pool's worker count.
+	NumCPU     int `json:"num_cpu"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	Workers    int `json:"workers"`
+}
+
+// CollectHost captures the host metadata for a report measured on a
+// pool of the given worker count.
+func CollectHost(workers int) *HostInfo {
+	return &HostInfo{
+		GoVersion:  runtime.Version(),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		CPUModel:   cpuModel(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+	}
+}
+
+// cpuModel reads the processor model string from /proc/cpuinfo. It
+// returns "" on platforms without one (the field is omitted from the
+// JSON then).
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		// x86 calls it "model name", arm64 "CPU part"/"Hardware";
+		// take the first recognisable naming line.
+		for _, key := range []string{"model name", "Hardware", "CPU part"} {
+			if rest, ok := strings.CutPrefix(line, key); ok {
+				if i := strings.IndexByte(rest, ':'); i >= 0 {
+					return strings.TrimSpace(rest[i+1:])
+				}
+			}
+		}
+	}
+	return ""
+}

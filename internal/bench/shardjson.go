@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"ihtl/internal/core"
+	"ihtl/internal/graph"
+	"ihtl/internal/spmv"
+)
+
+// ShardResult is one (dataset, shard count) measurement of the fused
+// iHTL engine. Shards == 1 is the unsharded engine (the ablation
+// baseline); Shards > 1 adds the cross-shard exchange phase, whose
+// per-step busy time is split out as ExchangeBinNs/ExchangeDrainNs so
+// the overhead of sharding is directly attributable.
+type ShardResult struct {
+	Dataset  string `json:"dataset"`
+	Shards   int    `json:"shards"`
+	Vertices int    `json:"vertices"`
+	Edges    int64  `json:"edges"`
+	// CrossEdges is how many edges the shard plan routed through the
+	// exchange (0 for the unsharded baseline).
+	CrossEdges int64 `json:"cross_edges,omitempty"`
+
+	NsPerStep int64   `json:"ns_per_step"`
+	NsPerEdge float64 `json:"ns_per_edge"`
+
+	// FlippedNs/MergeNs/SparseNs split the per-step busy time of the
+	// local (within-shard) pipeline phases, summed across workers and
+	// shards; ExchangeBinNs/ExchangeDrainNs are the exchange's two
+	// phases (zero when Shards == 1).
+	FlippedNs       int64 `json:"flipped_ns,omitempty"`
+	MergeNs         int64 `json:"merge_ns,omitempty"`
+	SparseNs        int64 `json:"sparse_ns,omitempty"`
+	ExchangeBinNs   int64 `json:"exchange_bin_ns,omitempty"`
+	ExchangeDrainNs int64 `json:"exchange_drain_ns,omitempty"`
+}
+
+// ShardReport is the machine-readable sharding-ablation report
+// (conventionally results/BENCH_shard.json).
+type ShardReport struct {
+	Workers    int           `json:"workers"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Iters      int           `json:"iters"`
+	Host       *HostInfo     `json:"host,omitempty"`
+	Results    []ShardResult `json:"results"`
+}
+
+// ShardCounts lists the default shard counts of the -shardjson sweep.
+func ShardCounts() []int { return []int{1, 2, 4, 8} }
+
+// RunShardJSON measures the fused iHTL engine at every shard count in
+// shards (ShardCounts when empty) on each dataset. The sharded
+// engines' steps are additionally checked bit-for-bit against the
+// unsharded engine's in original ID space, so a recorded speedup can
+// never come from computing something else.
+func RunShardJSON(env *Env, datasets []*Dataset, shards []int) (*ShardReport, error) {
+	if len(shards) == 0 {
+		shards = ShardCounts()
+	}
+	rep := &ShardReport{
+		Workers:    env.Pool.Workers(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Iters:      env.Iters,
+		Host:       CollectHost(env.Pool.Workers()),
+	}
+	for _, d := range datasets {
+		g, err := d.Load()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", d.Name, err)
+		}
+		var ref []float64
+		for _, n := range shards {
+			res, out, err := measureShards(env, g, n)
+			if err != nil {
+				return nil, fmt.Errorf("%s/shards=%d: %w", d.Name, n, err)
+			}
+			res.Dataset = d.Name
+			if ref == nil {
+				ref = out
+			} else {
+				for v := range ref {
+					if ref[v] != out[v] {
+						return nil, fmt.Errorf("%s/shards=%d: step differs from baseline at vertex %d", d.Name, n, v)
+					}
+				}
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	return rep, nil
+}
+
+// measureShards times one engine configuration and returns its record
+// plus one integer-valued step result in original ID space for the
+// cross-configuration differential.
+func measureShards(env *Env, g *graph.Graph, nshards int) (ShardResult, []float64, error) {
+	res := ShardResult{Shards: nshards, Vertices: g.NumV, Edges: g.NumE}
+	var (
+		e     spmv.Stepper
+		tb    func() core.Breakdown
+		toOld func(in, out []float64)
+		toNew func(in, out []float64)
+	)
+	if nshards == 1 {
+		ih, err := core.BuildWith(g, env.ihtlParams(), env.Pool)
+		if err != nil {
+			return res, nil, err
+		}
+		eng, err := core.NewEngine(ih, env.Pool)
+		if err != nil {
+			return res, nil, err
+		}
+		e, tb, toOld, toNew = eng, eng.TakeBreakdown, ih.PermuteToOld, ih.PermuteToNew
+	} else {
+		sg, err := core.BuildSharded(g, env.ihtlParams(), env.Pool, nshards)
+		if err != nil {
+			return res, nil, err
+		}
+		eng, err := core.NewShardedEngine(sg, env.Pool)
+		if err != nil {
+			return res, nil, err
+		}
+		res.CrossEdges = sg.CrossEdges()
+		e, tb, toOld, toNew = eng, eng.TakeBreakdown, sg.PermuteToOld, sg.PermuteToNew
+	}
+	tb() // discard construction-time state
+	ns := stepTime(e, env.Iters).Nanoseconds()
+	res.NsPerStep = ns
+	res.NsPerEdge = float64(ns) / float64(g.NumE)
+	if b := tb(); b.Steps > 0 {
+		steps := int64(b.Steps)
+		res.FlippedNs = b.FlippedBusy.Nanoseconds() / steps
+		res.MergeNs = b.MergeBusy.Nanoseconds() / steps
+		res.SparseNs = b.SparseTotalBusy().Nanoseconds() / steps
+		res.ExchangeBinNs = b.ExchangeBinBusy.Nanoseconds() / steps
+		res.ExchangeDrainNs = b.ExchangeDrainBusy.Nanoseconds() / steps
+	}
+
+	// Differential step: integer sources in original ID space.
+	n := g.NumV
+	src := make([]float64, n)
+	for v := range src {
+		src[v] = float64(v%17 - 8)
+	}
+	in := make([]float64, n)
+	dst := make([]float64, n)
+	out := make([]float64, n)
+	toNew(src, in)
+	e.Step(in, dst)
+	toOld(dst, out)
+	return res, out, nil
+}
+
+// WriteShardJSON writes the report as indented JSON, creating the
+// target directory if needed.
+func WriteShardJSON(path string, rep *ShardReport) error {
+	return writeJSON(path, rep)
+}
+
+// ShardRegistry returns the datasets of the sharding ablation: the
+// scale-14 R-MAT (hub-heavy, dense exchange) and the SK-Domain web
+// analog (asymmetric hubs, host-block structure).
+func ShardRegistry() []*Dataset {
+	return []*Dataset{
+		rmatDS("rmat14", "R-MAT scale 14 (shard ablation)", 14, 16, 114),
+		webDS("sk-s", "SK-Domain (small)", 12_000, 20, 203),
+	}
+}

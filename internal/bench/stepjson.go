@@ -76,10 +76,14 @@ type StepResult struct {
 // WriteStepJSON serialises it (conventionally to
 // results/BENCH_step.json) for tracking across commits.
 type StepReport struct {
-	Workers    int          `json:"workers"`
-	GoMaxProcs int          `json:"gomaxprocs"`
-	Iters      int          `json:"iters"`
-	Results    []StepResult `json:"results"`
+	Workers    int `json:"workers"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	Iters      int `json:"iters"`
+	// Host identifies the measuring machine and runtime (see
+	// HostInfo); reports written before it existed parse with a nil
+	// Host.
+	Host    *HostInfo    `json:"host,omitempty"`
+	Results []StepResult `json:"results"`
 }
 
 // RunStepJSON measures the average SpMV step time of every kernel in
@@ -89,6 +93,7 @@ func RunStepJSON(env *Env, datasets []*Dataset) (*StepReport, error) {
 		Workers:    env.Pool.Workers(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Iters:      env.Iters,
+		Host:       CollectHost(env.Pool.Workers()),
 	}
 	for _, d := range datasets {
 		g, err := d.Load()

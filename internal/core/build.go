@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"sync"
 	"time"
 
 	"ihtl/internal/compress"
@@ -100,6 +101,12 @@ func (s *SparseBlock) heavyDegThreshold() int64 {
 // which does not store them). Built graphs already carry them. The
 // derivation is deterministic, so engines constructed before and after
 // a serialisation round-trip schedule identically.
+//
+// NOT safe for concurrent callers: this is the unguarded primitive the
+// build's single-threaded passes call on a not-yet-published block.
+// Anything holding a full *IHTL (engine construction, concurrent
+// callers) must go through (*IHTL).EnsureDegreeBuckets, which takes
+// the graph's lazy-derivation lock.
 func (s *SparseBlock) EnsureDegreeBuckets() {
 	if s.HeavyDeg != 0 {
 		return
@@ -147,6 +154,25 @@ type IHTL struct {
 
 	params     Params
 	buildStats BuildBreakdown
+
+	// lazyMu serialises the lazy, idempotent derivations over the
+	// graph's resident forms — EnsureEncoded, EnsureFlatTopology,
+	// DropFlatTopology and (*IHTL).EnsureDegreeBuckets — so several
+	// engines may be constructed over one IHTL from concurrent
+	// goroutines. The derived fields are immutable once present;
+	// readers are ordered after their own constructor's locked Ensure
+	// call, so the hot paths stay lock-free.
+	lazyMu sync.Mutex
+}
+
+// EnsureDegreeBuckets derives the sparse block's degree buckets under
+// the graph's lazy-derivation lock, making concurrent engine
+// construction over one IHTL safe. See SparseBlock.EnsureDegreeBuckets
+// for the unguarded primitive the build's single-threaded passes use.
+func (ih *IHTL) EnsureDegreeBuckets() {
+	ih.lazyMu.Lock()
+	ih.Sparse.EnsureDegreeBuckets()
+	ih.lazyMu.Unlock()
 }
 
 // NumPushSources returns the number of vertices traversed during push

@@ -87,9 +87,13 @@ func (ih *IHTL) EncodedOnly() bool {
 }
 
 // EnsureEncoded builds the chunked varint encoding of every block that
-// does not carry one yet. Deterministic in the flat topology; not safe
-// for concurrent callers on one IHTL.
+// does not carry one yet. Deterministic in the flat topology, and safe
+// for concurrent callers on one IHTL: the graph's lazy-derivation lock
+// serialises the builds, and a caller's own locked pass orders its
+// later lock-free reads of the encoded forms.
 func (ih *IHTL) EnsureEncoded() {
+	ih.lazyMu.Lock()
+	defer ih.lazyMu.Unlock()
 	for b := range ih.Blocks {
 		fb := &ih.Blocks[b]
 		if fb.Enc == nil {
@@ -104,7 +108,10 @@ func (ih *IHTL) EnsureEncoded() {
 // EnsureFlatTopology materialises the flat Dsts/Srcs arrays of every
 // block that carries only the encoded form, so flat engines (and the
 // v1 serialiser) can run over a graph opened from a v2 varint file.
+// Safe for concurrent callers, like EnsureEncoded.
 func (ih *IHTL) EnsureFlatTopology() {
+	ih.lazyMu.Lock()
+	defer ih.lazyMu.Unlock()
 	for b := range ih.Blocks {
 		fb := &ih.Blocks[b]
 		if fb.Dsts == nil && fb.Enc != nil {
@@ -121,8 +128,12 @@ func (ih *IHTL) EnsureFlatTopology() {
 // encoded form is resident, shrinking a varint engine's footprint to
 // the compressed topology (plus the Index arrays the schedulers use).
 // Flat engines built later over the same IHTL re-materialise via
-// EnsureFlatTopology.
+// EnsureFlatTopology. It takes the same lazy-derivation lock as the
+// Ensure methods, but unlike them it is destructive: do not drop while
+// other goroutines may still be constructing engines over the graph.
 func (ih *IHTL) DropFlatTopology() {
+	ih.lazyMu.Lock()
+	defer ih.lazyMu.Unlock()
 	for b := range ih.Blocks {
 		fb := &ih.Blocks[b]
 		if fb.Enc != nil {
@@ -193,7 +204,7 @@ func (e *Engine) initEncoding(enc BlockEncoding) {
 			maxEdges = ck.MaxEdges
 		}
 	}
-	e.encScratch = make([]encScratch, e.pool.Workers())
+	e.encScratch = make([]encScratch, e.nworkers)
 	for w := range e.encScratch {
 		e.encScratch[w] = encScratch{
 			sIdx: make([]int32, maxSrcs+1),

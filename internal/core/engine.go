@@ -32,6 +32,12 @@ type Engine struct {
 	pool          *sched.Pool
 	atomicFlipped bool
 	phased        bool
+	// nworkers is the number of distinct worker indices this engine's
+	// per-worker state (buffers, clocks, schedulers, barriers) is sized
+	// for. It equals pool.Workers() for a standalone engine; a sharded
+	// engine's sub-engines are sized for their shard's worker GROUP and
+	// receive group-local indices from the sharded dispatch.
+	nworkers int
 
 	// encoding is the resolved block encoding; varint mirrors
 	// encoding == EncodingVarint for branch-cheap hot-path checks.
@@ -241,6 +247,11 @@ type Breakdown struct {
 	// record SparseBusy instead.
 	BinBusy   time.Duration
 	DrainBusy time.Duration
+	// ExchangeBinBusy/ExchangeDrainBusy are the sharded engine's cross-
+	// shard exchange phases (see sharded.go); single-shard engines leave
+	// them zero.
+	ExchangeBinBusy   time.Duration
+	ExchangeDrainBusy time.Duration
 
 	Wall  time.Duration // elapsed time of all Steps
 	Steps int
@@ -264,7 +275,7 @@ func (b Breakdown) Total() time.Duration {
 
 // TotalBusy returns the summed per-worker busy time across phases.
 func (b Breakdown) TotalBusy() time.Duration {
-	return b.FlippedBusy + b.MergeBusy + b.SparseTotalBusy()
+	return b.FlippedBusy + b.MergeBusy + b.SparseTotalBusy() + b.ExchangeBinBusy + b.ExchangeDrainBusy
 }
 
 // FlippedFrac returns the fraction of time spent pushing flipped
@@ -320,6 +331,15 @@ type EngineOptions struct {
 	// All pipelines are bit-for-bit identical under either encoding.
 	// See encoding.go.
 	BlockEncoding BlockEncoding
+	// Shards splits execution into N contiguous vertex-range shards,
+	// each with its own flipped + sparse blocks, hub buffers and degree
+	// buckets, joined by a deterministic cross-shard exchange phase.
+	// 0 or 1 selects today's single-shard engine. Sharding partitions
+	// the ORIGINAL graph, so the option is honoured by the public
+	// ihtl.NewEngineOpts (which routes to BuildSharded +
+	// NewShardedEngineOpts); core.NewEngineOpts over an already built
+	// IHTL rejects Shards > 1. See sharded.go.
+	Shards int
 }
 
 // NewEngine prepares an Algorithm 3 engine on the given pool with
@@ -328,14 +348,36 @@ func NewEngine(ih *IHTL, pool *sched.Pool) (*Engine, error) {
 	return NewEngineOpts(ih, pool, EngineOptions{})
 }
 
-// NewEngineOpts is NewEngine with explicit options.
+// NewEngineOpts is NewEngine with explicit options. Options asking for
+// more than one shard are rejected here: sharding partitions the
+// ORIGINAL graph before iHTL construction, so it enters through
+// BuildSharded + NewShardedEngineOpts (or the public ihtl.NewEngineOpts,
+// which routes EngineOptions.Shards there).
 func NewEngineOpts(ih *IHTL, pool *sched.Pool, opt EngineOptions) (*Engine, error) {
+	if opt.Shards > 1 {
+		return nil, fmt.Errorf("core: NewEngineOpts cannot shard a built IHTL (want NewShardedEngineOpts over a BuildSharded graph)")
+	}
+	if pool == nil {
+		return nil, fmt.Errorf("core: nil IHTL or pool")
+	}
+	return newEngineWorkers(ih, pool, opt, pool.Workers())
+}
+
+// newEngineWorkers is NewEngineOpts with an explicit worker count: the
+// number of distinct worker indices the engine's per-worker state is
+// sized for. The sharded engine builds its sub-engines with each
+// shard's GROUP size and drives their worker bodies with group-local
+// indices inside its own single dispatch.
+func newEngineWorkers(ih *IHTL, pool *sched.Pool, opt EngineOptions, nworkers int) (*Engine, error) {
 	if ih == nil || pool == nil {
 		return nil, fmt.Errorf("core: nil IHTL or pool")
 	}
-	e := &Engine{ih: ih, pool: pool, atomicFlipped: opt.AtomicFlipped, phased: opt.Phased, health: opt.Health}
+	if nworkers < 1 || nworkers > pool.Workers() {
+		return nil, fmt.Errorf("core: engine worker count %d outside [1, %d]", nworkers, pool.Workers())
+	}
+	e := &Engine{ih: ih, pool: pool, atomicFlipped: opt.AtomicFlipped, phased: opt.Phased, health: opt.Health, nworkers: nworkers}
 	if !e.atomicFlipped {
-		e.bufs = make([][]float64, pool.Workers())
+		e.bufs = make([][]float64, nworkers)
 		for w := range e.bufs {
 			e.bufs[w] = make([]float64, ih.NumHubs)
 		}
@@ -348,13 +390,13 @@ func NewEngineOpts(ih *IHTL, pool *sched.Pool, opt EngineOptions) (*Engine, erro
 	} else {
 		// Edge-balanced source chunks per flipped block: the per-block
 		// CSR index arrays give exact per-source edge counts.
-		e.blockTasks, e.tasksPerBlock, e.emptyBlocks = buildBlockTasks(ih, pool.Workers()*4)
+		e.blockTasks, e.tasksPerBlock, e.emptyBlocks = buildBlockTasks(ih, nworkers*4)
 	}
 	if n := ih.NumV - ih.Sparse.DestLo; n > 0 {
-		e.sparseBounds = sched.EdgeBalancedParts(ih.Sparse.Index, pool.Workers()*4)
+		e.sparseBounds = sched.EdgeBalancedParts(ih.Sparse.Index, nworkers*4)
 	}
 	e.initSparseKernel(opt.SparseKernel)
-	w := pool.Workers()
+	w := nworkers
 	e.flipSched = sched.NewStealScheduler(w)
 	e.sparseSched = sched.NewStealScheduler(w)
 	e.blockGate = sched.NewCountdowns(len(ih.Blocks))
@@ -371,7 +413,7 @@ func NewEngineOpts(ih *IHTL, pool *sched.Pool, opt EngineOptions) (*Engine, erro
 	}
 	e.epiBarrier = sched.NewBarrier(w)
 	e.phasedEpiJob = func(worker int) {
-		lo, hi := sched.SplitRange(e.ih.NumV, e.pool.Workers(), worker)
+		lo, hi := sched.SplitRange(e.ih.NumV, e.nworkers, worker)
 		e.curEpi(worker, lo, hi)
 	}
 	e.healthBad = make([]healthSlot, w)
@@ -380,9 +422,11 @@ func NewEngineOpts(ih *IHTL, pool *sched.Pool, opt EngineOptions) (*Engine, erro
 	return e, nil
 }
 
-// Workers returns the worker count of the engine's pool — the number
-// of distinct worker indices a StepEpi epilogue can observe.
-func (e *Engine) Workers() int { return e.pool.Workers() }
+// Workers returns the number of distinct worker indices a StepEpi
+// epilogue can observe. It equals the pool's worker count for engines
+// built with NewEngineOpts; a sharded engine's sub-engines are sized
+// for their shard group instead.
+func (e *Engine) Workers() int { return e.nworkers }
 
 // NumVertices implements spmv.Stepper.
 func (e *Engine) NumVertices() int { return e.ih.NumV }
@@ -615,15 +659,34 @@ func (e *Engine) recoverState() {
 //ihtl:noalloc
 func (e *Engine) stepFused(src, dst []float64) {
 	start := time.Now()
+	e.stageFused(src, dst)
+	e.pool.Run(e.fusedJob)
+	e.unstageFused()
+	e.breakdown.Wall += time.Since(start)
+}
+
+// stageFused arms the fused dispatch state for one step over the given
+// vectors without dispatching: scheduler resets, merge-countdown
+// arming, and vector staging. Split from stepFused so the sharded
+// engine can stage every shard's sub-engine and then run all their
+// worker bodies (e.fusedJob) under ONE pool dispatch of its own.
+//
+//ihtl:noalloc
+func (e *Engine) stageFused(src, dst []float64) {
 	e.flipSched.Reset(len(e.blockTasks))
 	e.resetSparseScheds()
 	if !e.atomicFlipped {
 		e.blockGate.Reset(e.tasksPerBlock)
 	}
 	e.curSrc, e.curDst = src, dst
-	e.pool.Run(e.fusedJob)
+}
+
+// unstageFused clears the staged vectors and folds the per-worker
+// phase clocks into the breakdown after a fused dispatch completes.
+//
+//ihtl:noalloc
+func (e *Engine) unstageFused() {
 	e.curSrc, e.curDst = nil, nil
-	e.breakdown.Wall += time.Since(start)
 	e.harvestClocks()
 }
 

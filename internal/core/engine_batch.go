@@ -181,16 +181,26 @@ func (b *batchState) recoverState() {
 //ihtl:noalloc
 func (e *Engine) stepFusedBatch(b *batchState, src, dst []float64) {
 	start := time.Now()
+	e.stageFusedBatch(b, src, dst)
+	e.pool.Run(b.fusedJob)
+	e.unstageFused()
+	e.breakdown.Wall += time.Since(start)
+}
+
+// stageFusedBatch is stageFused for a K-wide step: same scheduler and
+// countdown arming (the schedulers partition tasks, not lanes), with
+// the vectors staged for b.fusedJob. The sharded engine stages every
+// shard's batch state and runs all their worker bodies under one
+// dispatch; unstageFused is the shared teardown.
+//
+//ihtl:noalloc
+func (e *Engine) stageFusedBatch(b *batchState, src, dst []float64) {
 	e.flipSched.Reset(len(e.blockTasks))
 	e.resetSparseScheds()
 	if !e.atomicFlipped {
 		e.blockGate.Reset(e.tasksPerBlock)
 	}
 	e.curSrc, e.curDst = src, dst
-	e.pool.Run(b.fusedJob)
-	e.curSrc, e.curDst = nil, nil
-	e.breakdown.Wall += time.Since(start)
-	e.harvestClocks()
 }
 
 // fusedWorkerBufferedBatch is fusedWorkerBuffered with K-wide lanes:

@@ -228,13 +228,21 @@ func (vw *v2writer) chunked(ck *compress.Chunked) {
 // old files keep working everywhere.
 type EngineFile struct {
 	ih     *IHTL
+	sg     *ShardedIHTL
 	data   []byte
 	mapped bool
 }
 
-// IHTL returns the opened graph. For a mapped file it stays valid only
-// until Close.
+// IHTL returns the opened graph — nil for a sharded (v3) file, whose
+// graph is returned by Sharded instead. For a mapped file it stays
+// valid only until Close.
 func (ef *EngineFile) IHTL() *IHTL { return ef.ih }
+
+// Sharded returns the opened sharded graph of a version-3 file, or nil
+// for single-graph files. Every shard's topology aliases the shared
+// mapping, so per-shard sections page in on first touch like a v2
+// file's.
+func (ef *EngineFile) Sharded() *ShardedIHTL { return ef.sg }
 
 // Mapped reports whether the topology is memory-mapped (true only for
 // v2 files on platforms where the mmap succeeded).
@@ -244,7 +252,7 @@ func (ef *EngineFile) Mapped() bool { return ef.mapped }
 // must not be used afterwards.
 func (ef *EngineFile) Close() error {
 	data, mapped := ef.data, ef.mapped
-	ef.ih, ef.data, ef.mapped = nil, nil, false
+	ef.ih, ef.sg, ef.data, ef.mapped = nil, nil, nil, false
 	if mapped {
 		return unmapFile(data)
 	}
@@ -297,6 +305,23 @@ func OpenEngineFile(path string) (*EngineFile, error) {
 			return nil, fmt.Errorf("core: %s: %w", path, err)
 		}
 		return &EngineFile{ih: ih, data: data, mapped: mapped}, nil
+	case ihtlVersion3:
+		st, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		data, mapped, err := mapFile(f, st.Size())
+		if err != nil {
+			return nil, err
+		}
+		sg, err := parseV3(data)
+		if err != nil {
+			if mapped {
+				unmapFile(data)
+			}
+			return nil, fmt.Errorf("core: %s: %w", path, err)
+		}
+		return &EngineFile{sg: sg, data: data, mapped: mapped}, nil
 	default:
 		return nil, fmt.Errorf("core: %s: unsupported version %d", path, version)
 	}

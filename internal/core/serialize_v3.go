@@ -1,0 +1,237 @@
+package core
+
+// Version-3 engine-file format: the sharded container. A v3 file holds
+// the shard plan, the cross-shard exchange CSR, and a directory of
+// embedded, 64-byte-aligned version-2 blobs — one complete v2 engine
+// file per shard. Opening a v3 file maps it once and parses each
+// shard's blob in place with the v2 reader, so every shard's Index
+// arrays and chunked adjacency alias the shared mapping and page in
+// lazily, exactly like a single-shard v2 file.
+//
+// Layout (little-endian, sections padded to 64-byte starts):
+//
+//	header  magic u64, version u32 = 3, numShards u32,
+//	        numV u64, numE u64, hubsPerBlock u32, pad u32,
+//	        lenXRows u64, pad → 64 B
+//	bounds  [numShards+1]i64 raw
+//	xindex  [numV+1]i64 raw
+//	xrows   [lenXRows]u32 raw
+//	dir     [numShards]{offset u64, length u64} — absolute blob ranges
+//	shards  numShards × embedded v2 file, each starting 64-byte aligned
+//
+// The global relabeling is not stored: NewID/OldID are reconstructed
+// from each shard's local arrays and the bounds (sharded-global ID =
+// Bounds[s] + localNewID), which costs O(V) ints on open — the same
+// arrays a resident build allocates.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+
+	"ihtl/internal/graph"
+)
+
+const ihtlVersion3 = uint32(3)
+
+// WriteToV3 serialises the sharded graph in the version-3 container
+// format. Each shard's v2 blob is buffered first to learn its size for
+// the directory; the exchange and plan sections stream directly.
+func (sg *ShardedIHTL) WriteToV3(w io.Writer) (int64, error) {
+	blobs := make([]*bytes.Buffer, len(sg.Shards))
+	for s, ih := range sg.Shards {
+		blobs[s] = &bytes.Buffer{}
+		if _, err := ih.WriteToV2(blobs[s]); err != nil {
+			return 0, fmt.Errorf("core: shard %d: %w", s, err)
+		}
+	}
+	vw := &v2writer{w: bufio.NewWriterSize(w, 1<<20)}
+	vw.u64(ihtlMagic)
+	vw.u32(ihtlVersion3)
+	vw.u32(uint32(len(sg.Shards)))
+	vw.u64(uint64(sg.NumV))
+	vw.u64(uint64(sg.NumE))
+	vw.u32(uint32(sg.HubsPerBlock))
+	vw.u32(0)
+	vw.u64(uint64(len(sg.XRows)))
+	vw.pad64()
+	bounds := make([]int64, len(sg.Bounds))
+	for i, b := range sg.Bounds {
+		bounds[i] = int64(b)
+	}
+	vw.rawI64(bounds)
+	vw.pad64()
+	vw.rawI64(sg.XIndex)
+	vw.pad64()
+	vw.rawU32(sg.XRows)
+	vw.pad64()
+	// Directory: blob offsets are known once the directory's own padded
+	// size is, since every blob start is the previous end padded to 64.
+	dirEnd := vw.n + int64(len(blobs))*16
+	dirEnd = (dirEnd + 63) &^ 63
+	off := dirEnd
+	for _, b := range blobs {
+		vw.u64(uint64(off))
+		vw.u64(uint64(b.Len()))
+		off = (off + int64(b.Len()) + 63) &^ 63
+	}
+	vw.pad64()
+	for _, b := range blobs {
+		if vw.err == nil {
+			vw.write(b.Bytes())
+			vw.pad64()
+		}
+	}
+	if vw.err == nil {
+		vw.err = vw.w.Flush()
+	}
+	return vw.n, vw.err
+}
+
+// SaveFileV3 writes the sharded graph to path in the version-3 format.
+func (sg *ShardedIHTL) SaveFileV3(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := sg.WriteToV3(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// parseV3 decodes (mostly: aliases) a version-3 byte range into an
+// encoded-only ShardedIHTL. Every shard blob passes the full v2
+// validation; the plan and exchange sections are checked to the same
+// standard because the exchange kernels index by them unchecked.
+//
+//ihtl:nopanic
+func parseV3(data []byte) (*ShardedIHTL, error) {
+	c := &v2cursor{data: data}
+	magic, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	if magic != ihtlMagic {
+		return nil, fmt.Errorf("core: bad magic %#x", magic)
+	}
+	version, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if version != ihtlVersion3 {
+		return nil, fmt.Errorf("core: unsupported version %d", version)
+	}
+	numShards, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	numV, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	numE, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	hubsPerBlock, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.u32(); err != nil { // pad
+		return nil, err
+	}
+	lenXRows, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	if numShards < 1 || numShards > 1<<20 || numV > 1<<32 || numE > 1<<40 || lenXRows > numE {
+		return nil, fmt.Errorf("core: implausible v3 header (shards=%d, V=%d, E=%d, cross=%d)",
+			numShards, numV, numE, lenXRows)
+	}
+	sg := &ShardedIHTL{NumV: int(numV), NumE: int64(numE), HubsPerBlock: int(hubsPerBlock)}
+	c.align64()
+	bounds, err := c.aliasI64(int(numShards) + 1)
+	if err != nil {
+		return nil, err
+	}
+	c.align64()
+	sg.Bounds = make([]int, len(bounds))
+	for i, b := range bounds {
+		if b < 0 || b > int64(numV) || (i > 0 && b < bounds[i-1]) {
+			return nil, fmt.Errorf("core: corrupt shard bounds at %d", i)
+		}
+		sg.Bounds[i] = int(b)
+	}
+	if sg.Bounds[0] != 0 || sg.Bounds[numShards] != int(numV) {
+		return nil, fmt.Errorf("core: shard bounds do not cover [0, %d)", numV)
+	}
+	if sg.XIndex, err = c.aliasI64(int(numV) + 1); err != nil {
+		return nil, err
+	}
+	c.align64()
+	if sg.XIndex[0] != 0 || sg.XIndex[numV] != int64(lenXRows) {
+		return nil, fmt.Errorf("core: exchange index does not cover its rows")
+	}
+	for u := 0; u < int(numV); u++ {
+		if sg.XIndex[u+1] < sg.XIndex[u] {
+			return nil, fmt.Errorf("core: exchange index not monotone at %d", u)
+		}
+	}
+	if sg.XRows, err = c.aliasU32(int(lenXRows)); err != nil {
+		return nil, err
+	}
+	c.align64()
+	for u := 0; u < int(numV); u++ {
+		row := sg.XRows[sg.XIndex[u]:sg.XIndex[u+1]]
+		for i, d := range row {
+			if uint64(d) >= numV {
+				return nil, fmt.Errorf("core: exchange row of source %d out of range", u)
+			}
+			if i > 0 && row[i-1] >= d {
+				return nil, fmt.Errorf("core: exchange row of source %d not ascending", u)
+			}
+		}
+	}
+	type dirEnt struct{ off, n uint64 }
+	dir := make([]dirEnt, numShards)
+	for s := range dir {
+		if dir[s].off, err = c.u64(); err != nil {
+			return nil, err
+		}
+		if dir[s].n, err = c.u64(); err != nil {
+			return nil, err
+		}
+	}
+	sg.Shards = make([]*IHTL, numShards)
+	sg.NewID = make([]graph.VID, numV)
+	sg.OldID = make([]graph.VID, numV)
+	for s := range sg.Shards {
+		off, n := dir[s].off, dir[s].n
+		if off%64 != 0 || off > uint64(len(data)) || n > uint64(len(data))-off {
+			return nil, fmt.Errorf("core: shard %d blob range [%d, %d) invalid", s, off, off+n)
+		}
+		ih, err := parseV2(data[off : off+n : off+n])
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", s, err)
+		}
+		lo, hi := sg.Bounds[s], sg.Bounds[s+1]
+		if ih.NumV != hi-lo {
+			return nil, fmt.Errorf("core: shard %d covers %d vertices, bounds say %d", s, ih.NumV, hi-lo)
+		}
+		sg.Shards[s] = ih
+		for v := lo; v < hi; v++ {
+			sg.NewID[v] = graph.VID(lo) + ih.NewID[v-lo]
+		}
+		for i := lo; i < hi; i++ {
+			sg.OldID[i] = graph.VID(lo) + ih.OldID[i-lo]
+		}
+	}
+	if got := sg.LocalEdges() + sg.CrossEdges(); got != sg.NumE {
+		return nil, fmt.Errorf("core: shards + exchange cover %d edges, header says %d", got, sg.NumE)
+	}
+	return sg, nil
+}

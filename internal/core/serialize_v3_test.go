@@ -1,0 +1,129 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ihtl/internal/gen"
+)
+
+func buildV3TestGraph(t *testing.T) *ShardedIHTL {
+	t.Helper()
+	g, err := gen.RMAT(gen.DefaultRMAT(10, 8, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := BuildSharded(g, Params{HubsPerBlock: 32}, testPool, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.CrossEdges() == 0 {
+		t.Fatal("fixture has no cross edges; the exchange sections would be empty")
+	}
+	return sg
+}
+
+// TestV3RoundTripBitForBit pins the v3-decoded shard plan, exchange
+// CSR and reconstructed relabeling bit-for-bit against the in-memory
+// sharded build, and the opened engine's steps against the source's.
+func TestV3RoundTrip(t *testing.T) {
+	sg := buildV3TestGraph(t)
+	path := filepath.Join(t.TempDir(), "g.ihtl3")
+	if err := sg.SaveFileV3(path); err != nil {
+		t.Fatal(err)
+	}
+	ef, err := OpenEngineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Close()
+	if ef.IHTL() != nil {
+		t.Fatal("v3 file surfaced a single-graph IHTL")
+	}
+	got := ef.Sharded()
+	if got == nil {
+		t.Fatal("v3 file has no sharded graph")
+	}
+	if got.NumV != sg.NumV || got.NumE != sg.NumE || got.NumShards() != sg.NumShards() ||
+		got.HubsPerBlock != sg.HubsPerBlock {
+		t.Fatal("header fields changed in v3 round trip")
+	}
+	for i := range sg.Bounds {
+		if got.Bounds[i] != sg.Bounds[i] {
+			t.Fatalf("bounds changed at %d", i)
+		}
+	}
+	for u := range sg.XIndex {
+		if got.XIndex[u] != sg.XIndex[u] {
+			t.Fatalf("exchange index changed at %d", u)
+		}
+	}
+	for i := range sg.XRows {
+		if got.XRows[i] != sg.XRows[i] {
+			t.Fatalf("exchange rows changed at %d", i)
+		}
+	}
+	for v := range sg.NewID {
+		if got.NewID[v] != sg.NewID[v] || got.OldID[v] != sg.OldID[v] {
+			t.Fatalf("reconstructed relabeling changed at %d", v)
+		}
+	}
+	for s, ih := range sg.Shards {
+		lih := got.Shards[s]
+		if !lih.EncodedOnly() {
+			t.Fatalf("shard %d opened with a resident flat topology", s)
+		}
+		if lih.NumV != ih.NumV || lih.NumE != ih.NumE || lih.NumHubs != ih.NumHubs {
+			t.Fatalf("shard %d header changed", s)
+		}
+	}
+
+	// Engine differential: steps over the opened graph must match the
+	// in-memory sharded engine bit-for-bit.
+	mem, err := NewShardedEngine(sg, testPool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := NewShardedEngine(got, testPool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := integerVec(3, sg.NumV)
+	requireBitIdentical(t, "v3 engine", shardedStepOldSpace(mem, src), shardedStepOldSpace(loaded, src))
+}
+
+// TestV3CorruptionRejected truncates and bit-flips a v3 file and
+// checks OpenEngineFile fails cleanly instead of crashing later in an
+// unchecked kernel.
+func TestV3CorruptionRejected(t *testing.T) {
+	sg := buildV3TestGraph(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.ihtl3")
+	if err := sg.SaveFileV3(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name   string
+		mutate func(b []byte) []byte
+	}{
+		{"truncated-header", func(b []byte) []byte { return b[:40] }},
+		{"truncated-body", func(b []byte) []byte { return b[:len(b)*2/3] }},
+		{"bad-shard-count", func(b []byte) []byte { b[12] = 0xFF; return b }},
+		{"bad-bounds", func(b []byte) []byte { b[64] = 0xEE; return b }},
+	} {
+		mutated := tc.mutate(append([]byte(nil), data...))
+		p := filepath.Join(dir, tc.name)
+		if err := os.WriteFile(p, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenEngineFile(p); err == nil {
+			t.Errorf("%s: corrupt v3 file opened without error", tc.name)
+		}
+	}
+}

@@ -213,11 +213,11 @@ func (e *Engine) initSparseKernel(kernel SparseKernel) {
 	if n <= 0 {
 		return
 	}
-	w := e.pool.Workers()
+	w := e.nworkers
 	switch kernel {
 	case SparsePullDegree:
 		sp := &ih.Sparse
-		sp.EnsureDegreeBuckets()
+		ih.EnsureDegreeBuckets()
 		if len(sp.Heavy) > 0 {
 			e.heavyBounds = sched.EdgeBalancedPartsList(sp.Index, sp.Heavy, w*4)
 		}

@@ -1,0 +1,82 @@
+package sched
+
+// ShardGroups maps the P workers of one pool onto N shard-affine
+// steal domains: every shard's intra-shard work (flipped tasks, sparse
+// partitions, hub buffers) is claimed only by the workers of its
+// group, so a shard's cache-resident state stays hot inside its group
+// instead of migrating across the whole pool.
+//
+// Two regimes cover every (P, N):
+//
+//   - P >= N: workers are cut into N contiguous vertex-balanced
+//     groups, one per shard; worker w serves exactly one shard and
+//     carries a local index in [0, Size(shard)) inside it.
+//   - P < N: shards are cut into P contiguous ranges; worker w serves
+//     its shards sequentially and every shard runs single-worker
+//     (Size == 1, local index 0).
+//
+// The mapping is a pure function of (P, N) — no scheduling state —
+// so it is computed once at engine construction and read concurrently
+// without synchronisation.
+type ShardGroups struct {
+	workers int
+	shards  int
+	// bounds are the N+1 worker boundaries of the P >= N regime
+	// (group of shard s is [bounds[s], bounds[s+1])); nil when P < N.
+	bounds []int
+	// shardOf[w] is worker w's shard in the P >= N regime.
+	shardOf []int
+}
+
+// NewShardGroups computes the worker→shard mapping for a pool of
+// `workers` workers over `shards` shards. Both must be >= 1.
+func NewShardGroups(workers, shards int) *ShardGroups {
+	if workers < 1 || shards < 1 {
+		panic("sched: ShardGroups needs >= 1 worker and >= 1 shard")
+	}
+	g := &ShardGroups{workers: workers, shards: shards}
+	if workers < shards {
+		return g
+	}
+	g.bounds = VertexBalancedParts(workers, shards)
+	g.shardOf = make([]int, workers)
+	for s := 0; s < shards; s++ {
+		for w := g.bounds[s]; w < g.bounds[s+1]; w++ {
+			g.shardOf[w] = s
+		}
+	}
+	return g
+}
+
+// Shards returns the half-open shard range [lo, hi) worker w serves.
+// In the P >= N regime the range always has length 1.
+//
+//ihtl:noalloc
+func (g *ShardGroups) Shards(w int) (lo, hi int) {
+	if g.bounds != nil {
+		s := g.shardOf[w]
+		return s, s + 1
+	}
+	return splitRange(g.shards, g.workers, w)
+}
+
+// Local returns worker w's local index inside shard s's group, in
+// [0, Size(s)). s must be one of the shards Shards(w) reports.
+//
+//ihtl:noalloc
+func (g *ShardGroups) Local(w, s int) int {
+	if g.bounds != nil {
+		return w - g.bounds[s]
+	}
+	return 0
+}
+
+// Size returns the number of workers in shard s's group.
+//
+//ihtl:noalloc
+func (g *ShardGroups) Size(s int) int {
+	if g.bounds != nil {
+		return g.bounds[s+1] - g.bounds[s]
+	}
+	return 1
+}
