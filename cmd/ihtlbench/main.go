@@ -36,6 +36,9 @@ func main() {
 		faultseed = flag.Uint64("faultseed", 1, "with -faults: seed deriving the fault iterations")
 		shardjson = flag.String("shardjson", "", "run the sharded-execution ablation (fused engine at each -shards count, with the exchange phase split out) and write it as JSON to this path (e.g. results/BENCH_shard.json), then exit")
 		shards    = flag.String("shards", "", "with -shardjson: comma-separated shard counts to sweep (default 1,2,4,8)")
+		servejson = flag.String("servejson", "", "drive the ranking daemon with a closed-loop Zipf query load at each -servelanes width and write throughput/latency/lane-fill JSON to this path (e.g. results/BENCH_serve.json), then exit")
+		servelane = flag.String("servelanes", "", "with -servejson: comma-separated coalescing widths to sweep (default 1,2,4,8)")
+		servescal = flag.Int("servescale", 12, "with -servejson: R-MAT scale of the served graph")
 	)
 	flag.Parse()
 
@@ -79,6 +82,28 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d measurements to %s\n", len(rep.Results), *faults)
+		return
+	}
+
+	if *servejson != "" {
+		var widths []int
+		if *servelane != "" {
+			for _, s := range strings.Split(*servelane, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || n < 1 {
+					fatal(fmt.Errorf("invalid -servelanes entry %q", s))
+				}
+				widths = append(widths, n)
+			}
+		}
+		rep, err := bench.RunServeJSON(env, *servescal, widths)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteServeJSON(*servejson, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d measurements to %s\n", len(rep.Results), *servejson)
 		return
 	}
 

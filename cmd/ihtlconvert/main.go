@@ -23,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"ihtl/internal/atomicio"
 	"ihtl/internal/core"
 	"ihtl/internal/graph"
 )
@@ -90,14 +91,7 @@ func main() {
 	case "compressed":
 		err = g.SaveFileCompressed(*out)
 	case "edgelist":
-		var f *os.File
-		if f, err = os.Create(*out); err == nil {
-			if err = g.WriteEdgeList(f); err == nil {
-				err = f.Close()
-			} else {
-				f.Close()
-			}
-		}
+		err = atomicio.WriteFile(*out, g.WriteEdgeList)
 	case "ihtl":
 		b := buildIHTL()
 		b.EnsureFlatTopology() // the v1 format stores the flat adjacency

@@ -1,0 +1,31 @@
+package analytics
+
+import (
+	"io"
+	"os"
+
+	"ihtl/internal/atomicio"
+)
+
+// WriteCheckpointFile persists c to path crash-consistently: the
+// encoded snapshot is written to a temp file, fsynced, and renamed
+// over path, so a crash at any instant leaves either the previous
+// complete checkpoint or the new one — never a torn file. This is the
+// write half of the serving daemon's warm-restart contract.
+func WriteCheckpointFile(path string, c *Checkpoint) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return EncodeCheckpoint(w, c)
+	})
+}
+
+// ReadCheckpointFile loads a checkpoint written by WriteCheckpointFile.
+// Any truncation or corruption — a torn write from a non-atomic
+// writer, a bad disk — surfaces as an error, never a panic.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeCheckpoint(f)
+}

@@ -1,0 +1,57 @@
+package analytics
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	c := &Checkpoint{Algo: "ppr", Iter: 7, N: 4, K: 2,
+		Ranks: []float64{0.5, 0.25, 0.125, 0, 1, math.Pi, -0, 1e-300},
+		Aux:   []float64{0.125, 0.875}}
+	path := filepath.Join(t.TempDir(), "job.ckpt")
+	if err := WriteCheckpointFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, c) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, c)
+	}
+}
+
+// TestCheckpointFileTornWriteRejected simulates a torn write — the
+// failure atomicio exists to prevent, but which a crashed non-atomic
+// writer or a bad disk can still produce — by truncating the spooled
+// checkpoint at every possible byte length. The loader must reject
+// each prefix with an error and never panic.
+func TestCheckpointFileTornWriteRejected(t *testing.T) {
+	c := &Checkpoint{Algo: "ppr", Iter: 3, N: 3, K: 2,
+		Ranks: []float64{1, 2, 3, 4, 5, 6}, Aux: []float64{0.5, 0.5}}
+	var buf bytes.Buffer
+	if err := EncodeCheckpoint(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	path := filepath.Join(t.TempDir(), "torn.ckpt")
+	for cut := 0; cut < len(full); cut++ {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadCheckpointFile(path); err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", cut, len(full))
+		}
+	}
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpointFile(path); err != nil {
+		t.Fatalf("full file rejected: %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package analyzers
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // ctxVariant maps each plain sched.Pool dispatch to its cancellation-
@@ -23,11 +24,21 @@ var ctxVariant = map[string]string{
 // returning — exactly the hole PR 5 closed everywhere else. The fix is
 // the *Ctx variant of the same dispatch.
 //
+// The same hole reopens one layer up (PR 10's serving daemon): a
+// request handler carrying its request ctx that calls a plain
+// engine dispatch or analytics driver (Step, RunPageRank, Build, ...)
+// when a *Ctx sibling exists never observes the client hanging up.
+// So the pass also flags any call, inside a ctx-carrying function,
+// to a function or method F for which an F+"Ctx" sibling taking a
+// context.Context is declared alongside it (same package for
+// functions, same receiver type for methods).
+//
 // A function that opens a pool.Fallible(ctx) region is exempt: inside
 // a region the plain dispatches ARE cancellation- and panic-aware by
 // design (that is the region's contract), and the error surfaces at
 // end(). Deliberate holes — e.g. a cleanup dispatch that must run even
-// after cancellation — carry //ihtl:allow-noctx <reason> on the line.
+// after cancellation, or a ctx-sibling call whose work is too short to
+// be worth cancelling — carry //ihtl:allow-noctx <reason> on the line.
 var CtxLeak = &Analyzer{
 	Name: "ctxleak",
 	Doc:  "flag non-ctx sched.Pool dispatches inside context-carrying functions",
@@ -99,17 +110,72 @@ func checkCtxLeakBody(pass *Pass, fn *ast.FuncDecl) {
 		if !ok {
 			return true
 		}
-		name := poolDispatchName(pass, call)
-		variant, plain := ctxVariant[name]
-		if name == "" || !plain {
+		if name := poolDispatchName(pass, call); name != "" {
+			variant, plain := ctxVariant[name]
+			if !plain || pass.suppressed(call.Pos(), "allow-noctx") {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s carries a context.Context but dispatches via Pool.%s, which never observes cancellation; use %s (or open a Fallible region), or silence with //ihtl:allow-noctx <reason>",
+				fn.Name.Name, name, variant)
 			return true
 		}
-		if pass.suppressed(call.Pos(), "allow-noctx") {
+		callee, ok := pass.calleeObject(call).(*types.Func)
+		if !ok {
 			return true
 		}
-		pass.Reportf(call.Pos(),
-			"%s carries a context.Context but dispatches via Pool.%s, which never observes cancellation; use %s (or open a Fallible region), or silence with //ihtl:allow-noctx <reason>",
-			fn.Name.Name, name, variant)
+		if sib := ctxSibling(callee); sib != nil && !pass.suppressed(call.Pos(), "allow-noctx") {
+			pass.Reportf(call.Pos(),
+				"%s carries a context.Context but calls %s, which never observes cancellation; use %s, or silence with //ihtl:allow-noctx <reason>",
+				fn.Name.Name, callee.Name(), sib.Name())
+		}
 		return true
 	})
+}
+
+// ctxSibling returns the F+"Ctx" variant of fn when one is declared
+// alongside it (same package for functions, same receiver type for
+// methods) and actually takes a context.Context — the signal that the
+// plain form is the cancellation-blind spelling of the same dispatch.
+func ctxSibling(fn *types.Func) *types.Func {
+	name := fn.Name()
+	if strings.HasSuffix(name, "Ctx") || fn.Pkg() == nil {
+		return nil
+	}
+	want := name + "Ctx"
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if recv := sig.Recv(); recv != nil {
+		sel := types.NewMethodSet(recv.Type()).Lookup(fn.Pkg(), want)
+		if sel == nil {
+			return nil
+		}
+		if m, ok := sel.Obj().(*types.Func); ok && takesContext(m) {
+			return m
+		}
+		return nil
+	}
+	if obj := fn.Pkg().Scope().Lookup(want); obj != nil {
+		if f, ok := obj.(*types.Func); ok && takesContext(f) {
+			return f
+		}
+	}
+	return nil
+}
+
+// takesContext reports whether fn declares a context.Context
+// parameter.
+func takesContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
 }

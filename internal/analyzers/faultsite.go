@@ -47,6 +47,10 @@ var FaultSite = &Analyzer{
 var faultSitePkgs = map[string]bool{
 	"ihtl/internal/sched": true,
 	"ihtl/internal/core":  true,
+	// The serving daemon's admission/batch/spool paths carry their own
+	// sites (SiteServe*); any pool dispatch it grows must stay
+	// injectable like the engines beneath it.
+	"ihtl/internal/serve": true,
 }
 
 func runFaultSite(passes []*Pass) error {

@@ -78,3 +78,57 @@ func wrongWaiver(ctx context.Context, p *sched.Pool, xs []float64) {
 		_ = xs[worker]
 	})
 }
+
+// process/processCtx are a plain/ctx sibling pair like the analytics
+// drivers (RunPageRank / RunPageRankCtx): calling the plain form from
+// a ctx-carrying function is the serving-layer cancellation hole.
+func process(xs []float64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+func processCtx(ctx context.Context, xs []float64) error {
+	for i := range xs {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		xs[i] = 0
+	}
+	return nil
+}
+
+// engine carries the method shape of the same pair (Step / StepCtx).
+type engine struct{}
+
+func (engine) Step(xs []float64)                               {}
+func (engine) StepCtx(ctx context.Context, xs []float64) error { return nil }
+
+// badSibling carries a ctx but calls the plain forms: the client
+// hanging up is never observed.
+func badSibling(ctx context.Context, e engine, xs []float64) {
+	process(xs) // want `badSibling carries a context.Context but calls process, which never observes cancellation; use processCtx`
+	e.Step(xs)  // want `badSibling carries a context.Context but calls Step, which never observes cancellation; use StepCtx`
+}
+
+// goodSibling threads the ctx through the Ctx variants: clean.
+func goodSibling(ctx context.Context, e engine, xs []float64) error {
+	if err := processCtx(ctx, xs); err != nil {
+		return err
+	}
+	return e.StepCtx(ctx, xs)
+}
+
+// goodNoCtxSibling has no ctx to thread, so the plain forms are the
+// correct shape: clean.
+func goodNoCtxSibling(e engine, xs []float64) {
+	process(xs)
+	e.Step(xs)
+}
+
+// waivedSibling documents a deliberate plain call — the work is too
+// short to be worth a cancellation check: clean.
+func waivedSibling(ctx context.Context, xs []float64) {
+	//ihtl:allow-noctx two-element fixup, shorter than the ctx check
+	process(xs)
+}

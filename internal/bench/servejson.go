@@ -1,0 +1,273 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ihtl/internal/core"
+	"ihtl/internal/gen"
+	"ihtl/internal/serve"
+	"ihtl/internal/xrand"
+)
+
+// ServeLanes lists the coalescing widths the -servejson sweep
+// measures. K=1 is the no-coalescing baseline every wider setting
+// must beat on throughput.
+func ServeLanes() []int { return []int{1, 2, 4, 8} }
+
+// ServeResult is one lane-width measurement of the ranking daemon
+// under a closed-loop Zipf query load. Latency fields are
+// nanoseconds; QPS is answered queries per wall-clock second.
+type ServeResult struct {
+	Lanes    int `json:"lanes"`
+	Clients  int `json:"clients"`
+	Requests int `json:"requests"`
+
+	// WallNs is the wall-clock time from the first request issued to
+	// the last answer delivered; QPS = Served / WallNs.
+	WallNs int64   `json:"wall_ns"`
+	QPS    float64 `json:"qps"`
+	P50Ns  int64   `json:"p50_ns"`
+	P95Ns  int64   `json:"p95_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+
+	// Batches and LaneFill come from the daemon's own /varz counters:
+	// LaneFill[i] is the number of dispatched batches that coalesced
+	// i+1 queries, MeanLaneFill its batch-weighted mean. ShedRate is
+	// shed / (admitted + shed) — zero under a closed loop whose client
+	// count stays below the admission queue bound.
+	Batches      int64   `json:"batches"`
+	LaneFill     []int64 `json:"lane_fill"`
+	MeanLaneFill float64 `json:"mean_lane_fill"`
+	Served       int64   `json:"served"`
+	Shed         int64   `json:"shed"`
+	ShedRate     float64 `json:"shed_rate"`
+}
+
+// ServeReport is the machine-readable serving-throughput report;
+// WriteServeJSON serialises it (conventionally to
+// results/BENCH_serve.json) for tracking across commits.
+type ServeReport struct {
+	Workers    int `json:"workers"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Scale/Vertices/Edges describe the R-MAT graph behind the engine
+	// file every daemon in the sweep serves.
+	Scale    int   `json:"scale"`
+	Vertices int   `json:"vertices"`
+	Edges    int64 `json:"edges"`
+	// ZipfS is the exponent of the source-popularity distribution the
+	// load generator draws query vertices from (original-ID space,
+	// where low IDs are the R-MAT hubs — so the skew lands on the
+	// vertices whose neighbourhoods the engine keeps hot).
+	ZipfS float64 `json:"zipf_s"`
+	// QueryIters is the fixed per-query iteration count (Tol < 0), so
+	// every lane does identical work and the sweep compares pure
+	// coalescing efficiency.
+	QueryIters int           `json:"query_iters"`
+	Host       *HostInfo     `json:"host,omitempty"`
+	Results    []ServeResult `json:"results"`
+}
+
+// RunServeJSON measures the ranking daemon's query throughput at each
+// coalescing width in lanes, on a scale-`scale` R-MAT engine file,
+// under a closed-loop Zipf-distributed load of 2*max(lanes) clients.
+//
+// Each width gets its own engine file built with Params.ForBatch
+// (hub buffers sized for that batch width, as a deployment would) and
+// its own in-process serve.Server, so the measurement includes the
+// real dispatcher, admission queue, and fill-window path — only the
+// HTTP layer is skipped. Queries run a fixed iteration count (Tol<0)
+// so lanes never converge early and the widths are directly
+// comparable.
+func RunServeJSON(env *Env, scale int, lanes []int) (*ServeReport, error) {
+	if len(lanes) == 0 {
+		lanes = ServeLanes()
+	}
+	maxLanes := 0
+	for _, k := range lanes {
+		if k < 1 {
+			return nil, fmt.Errorf("invalid lane width %d", k)
+		}
+		if k > maxLanes {
+			maxLanes = k
+		}
+	}
+	const (
+		zipfS      = 1.5
+		queryIters = 20
+		reqPerLane = 12 // requests = reqPerLane * maxLanes, same for every width
+	)
+	clients := 2 * maxLanes
+	if clients < 4 {
+		clients = 4
+	}
+	requests := reqPerLane * maxLanes
+
+	g, err := gen.RMAT(gen.DefaultRMAT(scale, 8, 1414))
+	if err != nil {
+		return nil, err
+	}
+	rep := &ServeReport{
+		Workers:    env.Pool.Workers(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scale:      scale,
+		Vertices:   g.NumV,
+		Edges:      g.NumE,
+		ZipfS:      zipfS,
+		QueryIters: queryIters,
+		Host:       CollectHost(env.Pool.Workers()),
+	}
+
+	dir, err := os.MkdirTemp("", "ihtl-servebench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	for _, k := range lanes {
+		ih, err := core.Build(g, env.ihtlParams().ForBatch(k))
+		if err != nil {
+			return nil, fmt.Errorf("lanes %d: %w", k, err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("engine-k%d.ihtl2", k))
+		if err := ih.SaveFileV2(path); err != nil {
+			return nil, fmt.Errorf("lanes %d: %w", k, err)
+		}
+		res, err := serveLoad(path, env.Pool.Workers(), k, clients, requests, zipfS, queryIters, g.NumV)
+		if err != nil {
+			return nil, fmt.Errorf("lanes %d: %w", k, err)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+// serveLoad starts a daemon over the engine file and drives it with a
+// closed loop of Zipf clients until `requests` answers are in.
+func serveLoad(enginePath string, workers, lanes, clients, requests int, zipfS float64, queryIters, numV int) (ServeResult, error) {
+	s, err := serve.New(serve.Config{
+		EnginePath: enginePath,
+		Workers:    workers,
+		Lanes:      lanes,
+		FillWindow: 2 * time.Millisecond,
+		QueueLimit: 4 * clients,
+		// A generous deadline: the load is closed-loop, so queueing
+		// delay is bounded by clients/lanes batches.
+		DefaultTimeout: 5 * time.Minute,
+		Query:          serve.JobOptions{MaxIters: queryIters, Tol: -1, RedistributeDangling: true},
+	})
+	if err != nil {
+		return ServeResult{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx) //nolint:errcheck // teardown
+		s.Close()
+	}()
+
+	// Warm up one batch so the sweep times steady-state serving, not
+	// first-touch page faults on the mmapped topology.
+	if _, err := s.QueryPPR(context.Background(), 0); err != nil {
+		return ServeResult{}, err
+	}
+	warm := s.Metrics()
+
+	latNs := make([]int64, requests)
+	var next int64 // ticket counter; each client claims request indices
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			zipf := xrand.NewZipf(xrand.New(uint64(1000+c)), zipfS, 1, uint64(numV))
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if int(i) >= requests {
+					return
+				}
+				src := uint32(zipf.Uint64())
+				t0 := time.Now()
+				_, err := s.QueryPPR(context.Background(), src)
+				latNs[i] = time.Since(t0).Nanoseconds()
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("client %d: %w", c, err)
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return ServeResult{}, firstErr
+	}
+
+	m := s.Metrics()
+	res := ServeResult{
+		Lanes:    lanes,
+		Clients:  clients,
+		Requests: requests,
+		WallNs:   wall.Nanoseconds(),
+		Batches:  m.Batches - warm.Batches,
+		Served:   m.Served - warm.Served,
+		Shed:     m.Shed - warm.Shed,
+		LaneFill: make([]int64, len(m.LaneFill)),
+	}
+	res.QPS = float64(res.Served) / wall.Seconds()
+	if adm := m.Admitted - warm.Admitted + res.Shed; adm > 0 {
+		res.ShedRate = float64(res.Shed) / float64(adm)
+	}
+	var fillSum int64
+	for i := range m.LaneFill {
+		res.LaneFill[i] = m.LaneFill[i]
+		fillSum += int64(i+1) * m.LaneFill[i]
+	}
+	res.LaneFill[0] -= warm.LaneFill[0] // the warmup ran solo
+	fillSum -= 1
+	if res.Batches > 0 {
+		res.MeanLaneFill = float64(fillSum) / float64(res.Batches)
+	}
+	sort.Slice(latNs, func(i, j int) bool { return latNs[i] < latNs[j] })
+	res.P50Ns = percentileNs(latNs, 0.50)
+	res.P95Ns = percentileNs(latNs, 0.95)
+	res.P99Ns = percentileNs(latNs, 0.99)
+	return res, nil
+}
+
+// percentileNs returns the p-th percentile of sorted ns samples by
+// nearest-rank.
+func percentileNs(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// WriteServeJSON writes the report as indented JSON.
+func WriteServeJSON(path string, rep *ServeReport) error {
+	return writeJSON(path, rep)
+}

@@ -94,6 +94,12 @@ type Engine struct {
 	sparseSched *sched.StealScheduler
 	blockGate   *sched.Countdowns
 	dirty       []dirtyRange // indexed worker*len(Blocks)+block
+	// staticFlip (EngineOptions.StaticFlipped) replaces flipped-task
+	// stealing with the fixed per-worker ranges in flipBounds;
+	// flipCursors are the per-step claim positions.
+	staticFlip  bool
+	flipBounds  []int
+	flipCursors []flipCursor
 	// hubClearBounds and clearBarrier serve the AtomicFlipped fused
 	// path: workers cooperatively zero the hub slots, cross the
 	// barrier, then push with CAS.
@@ -208,6 +214,14 @@ type healthSlot struct {
 	_     [6]int64
 }
 
+// flipCursor is one worker's claim position inside its static
+// flipped-task range (StaticFlipped engines), padded to a cache line
+// so neighbouring workers' claims do not share one.
+type flipCursor struct {
+	next, hi int
+	_        [6]int64
+}
+
 // workerClock is one worker's per-phase busy time, padded to a cache
 // line. The sparse field covers the pull kernels; the propagation-
 // blocked kernel splits its time into bin and drain instead, so the
@@ -316,6 +330,20 @@ type EngineOptions struct {
 	// O(workers x NumHubs) merge sweep — for ablating the fused
 	// single-dispatch pipeline.
 	Phased bool
+	// StaticFlipped pins the flipped-task → worker assignment to a
+	// fixed partition instead of range stealing. Merges already fold
+	// worker buffers in ascending worker order and every sparse kernel
+	// sums each destination in an order that is a pure function of the
+	// topology, so with this option the ONLY remaining source of
+	// run-to-run float variance — which worker accumulated which
+	// partial sum — is gone: Step and StepBatch become bit-for-bit
+	// reproducible across runs for a fixed worker count. The serving
+	// layer's replay guarantees (checkpoint warm restart, coalesced
+	// lane == solo run) are built on this mode; the price is losing
+	// the steal scheduler's load balancing on skewed blocks.
+	// Incompatible with AtomicFlipped, whose CAS merge order is
+	// schedule-dependent by nature.
+	StaticFlipped bool
 	// Health arms the opt-in numeric watchdog: the SpMV result vector
 	// is scanned for NaN/±Inf after each (Every-th) step, fused into
 	// the epilogue sweep on the fused pipeline. See spmv.HealthPolicy.
@@ -396,6 +424,18 @@ func newEngineWorkers(ih *IHTL, pool *sched.Pool, opt EngineOptions, nworkers in
 		e.sparseBounds = sched.EdgeBalancedParts(ih.Sparse.Index, nworkers*4)
 	}
 	e.initSparseKernel(opt.SparseKernel)
+	if opt.StaticFlipped {
+		if opt.AtomicFlipped {
+			return nil, fmt.Errorf("core: StaticFlipped is incompatible with AtomicFlipped (CAS merge order is schedule-dependent)")
+		}
+		e.staticFlip = true
+		e.flipBounds = make([]int, nworkers+1)
+		for wi := 0; wi < nworkers; wi++ {
+			lo, hi := sched.SplitRange(len(e.blockTasks), nworkers, wi)
+			e.flipBounds[wi], e.flipBounds[wi+1] = lo, hi
+		}
+		e.flipCursors = make([]flipCursor, nworkers)
+	}
 	w := nworkers
 	e.flipSched = sched.NewStealScheduler(w)
 	e.sparseSched = sched.NewStealScheduler(w)
@@ -651,6 +691,7 @@ func (e *Engine) recoverState() {
 	}
 	e.curSrc, e.curDst, e.curEpi = nil, nil, nil
 	e.healthArmed = false
+	e.resetFlipCursors()
 }
 
 // stepFused runs all of Algorithm 3 as one pool dispatch; see
@@ -674,11 +715,44 @@ func (e *Engine) stepFused(src, dst []float64) {
 //ihtl:noalloc
 func (e *Engine) stageFused(src, dst []float64) {
 	e.flipSched.Reset(len(e.blockTasks))
+	e.resetFlipCursors()
 	e.resetSparseScheds()
 	if !e.atomicFlipped {
 		e.blockGate.Reset(e.tasksPerBlock)
 	}
 	e.curSrc, e.curDst = src, dst
+}
+
+// resetFlipCursors rearms the static flipped-task claim positions for
+// one step; a no-op on stealing engines (flipCursors is nil).
+//
+//ihtl:noalloc
+func (e *Engine) resetFlipCursors() {
+	for w := range e.flipCursors {
+		e.flipCursors[w].next = e.flipBounds[w]
+		e.flipCursors[w].hi = e.flipBounds[w+1]
+	}
+}
+
+// claimFlip hands worker w its next flipped-task range: by range
+// stealing normally, or — on a StaticFlipped engine — the next task of
+// the worker's fixed share, which keeps the task → worker assignment
+// (and with it every buffer's partial-sum operand set) a pure function
+// of the topology and worker count. The granule matches the stealing
+// path's, so abort latency is unchanged.
+//
+//ihtl:noalloc
+func (e *Engine) claimFlip(w int) (lo, hi int, ok bool) {
+	if e.staticFlip {
+		c := &e.flipCursors[w]
+		if c.next >= c.hi {
+			return 0, 0, false
+		}
+		lo = c.next
+		c.next++
+		return lo, c.next, true
+	}
+	return e.flipSched.Next(w, 1)
 }
 
 // unstageFused clears the staged vectors and folds the per-worker
@@ -729,7 +803,7 @@ func (e *Engine) fusedWorkerBuffered(w int) {
 	buf := e.bufs[w]
 	var mergeTime time.Duration
 	for !e.pool.Aborted() {
-		lo, hi, ok := e.flipSched.Next(w, 1)
+		lo, hi, ok := e.claimFlip(w)
 		if !ok {
 			break
 		}
@@ -840,7 +914,7 @@ func (e *Engine) fusedWorkerAtomic(w int) {
 	}
 	t1 := time.Now() // after the barrier: waiting is not busy time
 	for !e.pool.Aborted() {
-		lo, hi, ok := e.flipSched.Next(w, 1)
+		lo, hi, ok := e.claimFlip(w)
 		if !ok {
 			break
 		}
@@ -906,7 +980,7 @@ func (e *Engine) stepPhased(src, dst []float64) {
 			pushTaskFlatAtomic(bt, fb, src, dst)
 		})
 	} else {
-		e.pool.ForEachPart(len(e.blockTasks), func(w, task int) {
+		pushTask := func(w, task int) {
 			bt := &e.blockTasks[task]
 			fb := &ih.Blocks[bt.block]
 			buf := e.bufs[w]
@@ -915,7 +989,20 @@ func (e *Engine) stepPhased(src, dst []float64) {
 				return
 			}
 			pushTaskFlat(bt, fb, src, buf)
-		})
+		}
+		if e.staticFlip {
+			// Pinned task → worker assignment: each buffer accumulates
+			// a fixed operand set, and phase 2 folds buffers in fixed
+			// order, so the phased pipeline is bit-reproducible too.
+			e.pool.Run(func(w int) {
+				for task := e.flipBounds[w]; task < e.flipBounds[w+1]; task++ {
+					faultinject.Fire(faultinject.SiteFlippedTask)
+					pushTask(w, task)
+				}
+			})
+		} else {
+			e.pool.ForEachPart(len(e.blockTasks), pushTask)
+		}
 	}
 	t1 := time.Now()
 

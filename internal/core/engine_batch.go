@@ -196,6 +196,7 @@ func (e *Engine) stepFusedBatch(b *batchState, src, dst []float64) {
 //ihtl:noalloc
 func (e *Engine) stageFusedBatch(b *batchState, src, dst []float64) {
 	e.flipSched.Reset(len(e.blockTasks))
+	e.resetFlipCursors()
 	e.resetSparseScheds()
 	if !e.atomicFlipped {
 		e.blockGate.Reset(e.tasksPerBlock)
@@ -224,7 +225,7 @@ func (e *Engine) fusedWorkerBufferedBatch(b *batchState, w int) {
 	buf := b.bufs[w]
 	var mergeTime time.Duration
 	for !e.pool.Aborted() {
-		lo, hi, ok := e.flipSched.Next(w, 1)
+		lo, hi, ok := e.claimFlip(w)
 		if !ok {
 			break
 		}
@@ -313,7 +314,7 @@ func (e *Engine) fusedWorkerAtomicBatch(b *batchState, w int) {
 	}
 	t1 := time.Now()
 	for !e.pool.Aborted() {
-		lo, hi, ok := e.flipSched.Next(w, 1)
+		lo, hi, ok := e.claimFlip(w)
 		if !ok {
 			break
 		}
@@ -358,7 +359,7 @@ func (e *Engine) stepPhasedBatch(b *batchState, src, dst []float64) {
 			pushTaskFlatAtomicBatch(k, bt, fb, src, dst)
 		})
 	} else {
-		e.pool.ForEachPart(len(e.blockTasks), func(w, task int) {
+		pushTask := func(w, task int) {
 			bt := &e.blockTasks[task]
 			fb := &ih.Blocks[bt.block]
 			buf := b.bufs[w]
@@ -367,7 +368,19 @@ func (e *Engine) stepPhasedBatch(b *batchState, src, dst []float64) {
 				return
 			}
 			pushTaskFlatBatch(k, bt, fb, src, buf)
-		})
+		}
+		if e.staticFlip {
+			// See stepPhased: pinned assignment + fixed-order phase 2
+			// fold keeps the batched phased pipeline bit-reproducible.
+			e.pool.Run(func(w int) {
+				for task := e.flipBounds[w]; task < e.flipBounds[w+1]; task++ {
+					faultinject.Fire(faultinject.SiteFlippedTask)
+					pushTask(w, task)
+				}
+			})
+		} else {
+			e.pool.ForEachPart(len(e.blockTasks), pushTask)
+		}
 	}
 	t1 := time.Now()
 

@@ -1,0 +1,62 @@
+package core
+
+// OutDegrees recomputes the out-degree of every vertex in iHTL
+// (stepping) ID space from the resident topology alone, so drivers
+// that need out-degrees — PageRank's contribution scaling, dangling
+// detection — can run over a graph deserialised from an engine file
+// without the original graph.Graph at hand.
+//
+// Every edge appears exactly once across the flipped blocks and the
+// sparse block (the paper's partition invariant), so summing source
+// occurrences over both reproduces the original out-degrees exactly:
+// flipped blocks index per push source (the run length IS the edge
+// count, no adjacency decode needed), while the sparse block stores
+// sources grouped by destination and is scanned flat or, for an
+// encoded-only graph (a v2 engine file opened without materialising
+// flat topology), chunk-by-chunk through the validated varint decoder.
+func (ih *IHTL) OutDegrees() []int {
+	deg := make([]int, ih.NumV)
+	nps := ih.NumPushSources()
+	for bi := range ih.Blocks {
+		idx := ih.Blocks[bi].Index
+		for s := 0; s+1 < len(idx) && s < nps; s++ {
+			deg[s] += int(idx[s+1] - idx[s])
+		}
+	}
+	sp := &ih.Sparse
+	switch {
+	case sp.Srcs != nil:
+		for _, u := range sp.Srcs {
+			deg[u]++
+		}
+	case sp.Enc != nil:
+		sIdx := make([]int32, sp.Enc.MaxSrcs+1)
+		vals := make([]uint32, sp.Enc.MaxEdges)
+		for c := 0; c < sp.Enc.Chunks(); c++ {
+			_, ne := sp.Enc.DecodeChunkCSR(c, sIdx, vals)
+			for i := 0; i < ne; i++ {
+				deg[vals[i]]++
+			}
+		}
+	}
+	return deg
+}
+
+// OutDegrees recomputes per-vertex out-degrees in sharded-global
+// (stepping) ID space: each shard's private topology contributes its
+// intra-shard edges (shard-local new IDs offset by the shard's range
+// base), and the exchange CSR — indexed by global source — contributes
+// the cross-shard edges. Together they cover every edge exactly once.
+func (sg *ShardedIHTL) OutDegrees() []int {
+	deg := make([]int, sg.NumV)
+	for s, ih := range sg.Shards {
+		base := sg.Bounds[s]
+		for lv, d := range ih.OutDegrees() {
+			deg[base+lv] += d
+		}
+	}
+	for u := 0; u < sg.NumV && u+1 < len(sg.XIndex); u++ {
+		deg[u] += int(sg.XIndex[u+1] - sg.XIndex[u])
+	}
+	return deg
+}

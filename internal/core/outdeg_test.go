@@ -1,0 +1,84 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ihtl/internal/gen"
+	"ihtl/internal/graph"
+)
+
+// TestOutDegreesMatchesGraph pins OutDegrees against the original
+// graph's out-degrees through the relabeling, for the flat topology,
+// the encoded-only (varint) form, and a graph round-tripped through a
+// v2 engine file (the serving daemon's load path).
+func TestOutDegreesMatchesGraph(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(9, 8, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ih, err := Build(g, Params{HubsPerBlock: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(t *testing.T, deg []int) {
+		t.Helper()
+		if len(deg) != g.NumV {
+			t.Fatalf("OutDegrees length %d, want %d", len(deg), g.NumV)
+		}
+		for v := 0; v < g.NumV; v++ {
+			nv := ih.NewID[v]
+			if want := g.OutDegree(graph.VID(v)); deg[nv] != want {
+				t.Fatalf("vertex %d (new %d): out-degree %d, want %d", v, nv, deg[nv], want)
+			}
+		}
+	}
+
+	t.Run("flat", func(t *testing.T) { check(t, ih.OutDegrees()) })
+
+	t.Run("varint-only", func(t *testing.T) {
+		ih.EnsureEncoded()
+		ih.DropFlatTopology()
+		if !ih.EncodedOnly() {
+			t.Fatal("DropFlatTopology left flat topology resident")
+		}
+		check(t, ih.OutDegrees())
+	})
+
+	t.Run("v2-engine-file", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "g.ihtl2")
+		if err := ih.SaveFileV2(path); err != nil {
+			t.Fatal(err)
+		}
+		ef, err := OpenEngineFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ef.Close()
+		check(t, ef.IHTL().OutDegrees())
+	})
+}
+
+// TestShardedOutDegreesMatchesGraph pins the sharded variant: shard
+// topologies plus the exchange CSR must cover every edge exactly once.
+func TestShardedOutDegreesMatchesGraph(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(9, 8, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nshards := range []int{2, 3} {
+		sg, err := BuildSharded(g, Params{HubsPerBlock: 64}, nil, nshards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deg := sg.OutDegrees()
+		for v := 0; v < g.NumV; v++ {
+			nv := sg.NewID[v]
+			if want := g.OutDegree(graph.VID(v)); deg[nv] != want {
+				t.Fatalf("shards=%d vertex %d (global %d): out-degree %d, want %d",
+					nshards, v, nv, deg[nv], want)
+			}
+		}
+	}
+}

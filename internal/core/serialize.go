@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 
+	"ihtl/internal/atomicio"
 	"ihtl/internal/graph"
 )
 
@@ -191,17 +192,12 @@ func ReadIHTL(r io.Reader) (*IHTL, error) {
 	return ih, nil
 }
 
-// SaveFile writes ih to path.
+// SaveFile writes ih to path, atomically replacing any existing file.
 func (ih *IHTL) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		_, err := ih.WriteTo(w)
 		return err
-	}
-	if _, err := ih.WriteTo(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	})
 }
 
 // LoadFile reads an iHTL graph from path.

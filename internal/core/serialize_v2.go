@@ -46,6 +46,7 @@ import (
 	"os"
 	"unsafe"
 
+	"ihtl/internal/atomicio"
 	"ihtl/internal/compress"
 )
 
@@ -102,17 +103,13 @@ func (ih *IHTL) WriteToV2(w io.Writer) (int64, error) {
 	return vw.n, vw.err
 }
 
-// SaveFileV2 writes ih to path in the version-2 format.
+// SaveFileV2 writes ih to path in the version-2 format, atomically
+// replacing any existing file.
 func (ih *IHTL) SaveFileV2(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		_, err := ih.WriteToV2(w)
 		return err
-	}
-	if _, err := ih.WriteToV2(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	})
 }
 
 // v2writer counts bytes so sections can be padded to 64-byte starts.

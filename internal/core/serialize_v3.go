@@ -29,8 +29,8 @@ import (
 	"bytes"
 	"fmt"
 	"io"
-	"os"
 
+	"ihtl/internal/atomicio"
 	"ihtl/internal/graph"
 )
 
@@ -90,17 +90,13 @@ func (sg *ShardedIHTL) WriteToV3(w io.Writer) (int64, error) {
 	return vw.n, vw.err
 }
 
-// SaveFileV3 writes the sharded graph to path in the version-3 format.
+// SaveFileV3 writes the sharded graph to path in the version-3 format,
+// atomically replacing any existing file.
 func (sg *ShardedIHTL) SaveFileV3(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		_, err := sg.WriteToV3(w)
 		return err
-	}
-	if _, err := sg.WriteToV3(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	})
 }
 
 // parseV3 decodes (mostly: aliases) a version-3 byte range into an

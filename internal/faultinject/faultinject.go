@@ -70,6 +70,16 @@ const (
 	// SiteShardExchange fires once per claimed destination bucket of
 	// the sharded engine's cross-shard exchange drain phase.
 	SiteShardExchange Site = "core.shard-exchange"
+	// SiteServeAdmit fires once per admission decision in the query
+	// daemon, before the request is queued or shed.
+	SiteServeAdmit Site = "serve.admit"
+	// SiteServeBatch fires once per coalesced batch dispatch, inside
+	// the daemon's panic-isolation scope (Panic rules exercise the
+	// bounded batch retry).
+	SiteServeBatch Site = "serve.batch"
+	// SiteServeSpool fires once per checkpoint spool write, inside the
+	// job attempt's recovery scope.
+	SiteServeSpool Site = "serve.spool"
 )
 
 // Kind selects what a rule does when it fires.

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"ihtl/internal/atomicio"
 )
 
 // Binary graph file format (little-endian):
@@ -134,17 +136,12 @@ func ReadChunked[T int64 | uint32](r io.Reader, n uint64) ([]T, error) {
 	return out, nil
 }
 
-// SaveFile writes g to path, creating or truncating it.
+// SaveFile writes g to path, atomically replacing any existing file.
 func (g *Graph) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		_, err := g.WriteTo(w)
 		return err
-	}
-	if _, err := g.WriteTo(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	})
 }
 
 // LoadFile reads a graph from path.

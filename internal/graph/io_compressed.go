@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 
+	"ihtl/internal/atomicio"
 	"ihtl/internal/compress"
 )
 
@@ -108,17 +109,13 @@ func ReadFromCompressed(r io.Reader) (*Graph, error) {
 	return g, nil
 }
 
-// SaveFileCompressed writes g to path in the compressed format.
+// SaveFileCompressed writes g to path in the compressed format,
+// atomically replacing any existing file.
 func (g *Graph) SaveFileCompressed(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		_, err := g.WriteToCompressed(w)
 		return err
-	}
-	if _, err := g.WriteToCompressed(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	})
 }
 
 // LoadFileAuto reads a graph from path in either format, sniffing the

@@ -1,0 +1,226 @@
+// HTTP surface of the daemon:
+//
+//	POST /v1/ppr        {"source": v, "timeout_ms": t?, "top": m?, "ranks": bool?}
+//	POST /v1/jobs       {"algo": "pagerank"|"ppr", "sources": [..]?, "opts": {..}?}
+//	GET  /v1/jobs/{id}  ?ranks=1&lane=j&top=m
+//	GET  /healthz
+//	GET  /varz
+//
+// Shed requests answer 429 with Retry-After; deadline-expired queries
+// answer 200 with converged=false and the partial ranks (degraded
+// mode). Every request is logged structurally (method, path, status,
+// duration).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Handler returns the daemon's HTTP mux wrapped in the request log.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ppr", s.handlePPR)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /varz", s.handleVarz)
+	return s.logRequests(mux)
+}
+
+// statusRecorder captures the status code for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		s.log.Info("request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", rec.status, "dur", time.Since(start))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is not actionable
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// pprRequest is the query body. Top selects how many of the highest
+// ranks to return (default 10); Ranks requests the full dense vector
+// (heavyweight — meant for verification harnesses, not serving).
+type pprRequest struct {
+	Source    uint32 `json:"source"`
+	TimeoutMS int    `json:"timeout_ms"`
+	Top       int    `json:"top"`
+	Ranks     bool   `json:"ranks"`
+}
+
+// rankEntry is one vertex in the top-M answer.
+type rankEntry struct {
+	Vertex uint32  `json:"vertex"`
+	Rank   float64 `json:"rank"`
+}
+
+// pprResponse wraps PPRAnswer for the wire, with the rank payload
+// trimmed to top-M unless the full vector was requested.
+type pprResponse struct {
+	PPRAnswer
+	Top   []rankEntry `json:"top,omitempty"`
+	Ranks []float64   `json:"ranks,omitempty"`
+}
+
+func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
+	var req pprRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	ans, err := s.QueryPPR(ctx, req.Source)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, context.Canceled):
+		// The requester went away; nobody is reading this.
+		writeErr(w, 499, err)
+		return
+	case errors.Is(err, errDraining):
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := pprResponse{PPRAnswer: ans}
+	top := req.Top
+	if top == 0 {
+		top = 10
+	}
+	resp.Top = topRanks(ans.Ranks, top)
+	if req.Ranks {
+		resp.Ranks = ans.Ranks
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// topRanks selects the m highest ranks, ties broken by ascending
+// vertex ID so the answer is deterministic.
+func topRanks(ranks []float64, m int) []rankEntry {
+	if m > len(ranks) {
+		m = len(ranks)
+	}
+	idx := make([]uint32, len(ranks))
+	for v := range idx {
+		idx[v] = uint32(v)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ra, rb := ranks[idx[a]], ranks[idx[b]]
+		if ra != rb {
+			return ra > rb
+		}
+		return idx[a] < idx[b]
+	})
+	out := make([]rankEntry, m)
+	for i := 0; i < m; i++ {
+		out[i] = rankEntry{Vertex: idx[i], Rank: ranks[idx[i]]}
+	}
+	return out
+}
+
+type jobCreateRequest struct {
+	Algo    string     `json:"algo"`
+	Sources []uint32   `json:"sources"`
+	Opts    JobOptions `json:"opts"`
+}
+
+func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	var req jobCreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.StartJob(req.Algo, req.Sources, req.Opts)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+type jobResponse struct {
+	JobStatus
+	Top   []rankEntry `json:"top,omitempty"`
+	Ranks []float64   `json:"ranks,omitempty"`
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.JobStatusByID(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("serve: no such job"))
+		return
+	}
+	resp := jobResponse{JobStatus: st}
+	if st.Status == JobDone {
+		q := r.URL.Query()
+		lane, _ := strconv.Atoi(q.Get("lane")) //nolint:errcheck // empty → lane 0
+		ranks, err := s.JobRanks(id, lane)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		top := 10
+		if t := q.Get("top"); t != "" {
+			if top, err = strconv.Atoi(t); err != nil || top < 0 {
+				writeErr(w, http.StatusBadRequest, errors.New("serve: bad top"))
+				return
+			}
+		}
+		resp.Top = topRanks(ranks, top)
+		if v := q.Get("ranks"); v == "1" || strings.EqualFold(v, "true") {
+			resp.Ranks = ranks
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

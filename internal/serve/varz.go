@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+)
+
+// metrics is the daemon's operability surface: monotonic counters plus
+// the queue-depth gauge and the per-batch lane-fill histogram, all
+// lock-free so the hot admission path pays two atomic adds.
+type metrics struct {
+	admitted     atomic.Int64 // requests accepted into the queue
+	shed         atomic.Int64 // requests refused with ErrOverloaded
+	batches      atomic.Int64 // coalesced batches dispatched
+	batchRetries atomic.Int64 // batch re-dispatches after a panic
+	served       atomic.Int64 // lane results delivered
+	deadline     atomic.Int64 // lanes emitted as deadline partials
+	cancelled    atomic.Int64 // lanes abandoned by their requester
+	queueDepth   atomic.Int64 // requests queued, not yet in a batch
+
+	jobsStarted atomic.Int64 // jobs accepted via the API
+	jobsResumed atomic.Int64 // jobs warm-restarted from the spool
+	jobsDone    atomic.Int64
+	jobsFailed  atomic.Int64
+	jobRetries  atomic.Int64 // job attempts restarted after a fault
+	rollbacks   atomic.Int64 // in-run checkpoint restores (numeric)
+	spoolWrites atomic.Int64
+	spoolErrors atomic.Int64 // failed spool writes (job continues)
+	spoolBad    atomic.Int64 // quarantined undecodable spool files
+	laneFill    []atomic.Int64
+}
+
+func newMetrics(lanes int) *metrics {
+	return &metrics{laneFill: make([]atomic.Int64, lanes)}
+}
+
+// Varz is the JSON shape served at /varz.
+type Varz struct {
+	Admitted     int64   `json:"admitted"`
+	Shed         int64   `json:"shed"`
+	Batches      int64   `json:"batches"`
+	BatchRetries int64   `json:"batch_retries"`
+	Served       int64   `json:"served"`
+	Deadline     int64   `json:"deadline_partials"`
+	Cancelled    int64   `json:"cancelled"`
+	QueueDepth   int64   `json:"queue_depth"`
+	LaneFill     []int64 `json:"lane_fill"` // index i = batches with i+1 lanes
+
+	JobsStarted int64 `json:"jobs_started"`
+	JobsResumed int64 `json:"jobs_resumed"`
+	JobsDone    int64 `json:"jobs_done"`
+	JobsFailed  int64 `json:"jobs_failed"`
+	JobRetries  int64 `json:"job_retries"`
+	Rollbacks   int64 `json:"rollbacks"`
+	SpoolWrites int64 `json:"spool_writes"`
+	SpoolErrors int64 `json:"spool_errors"`
+	SpoolBad    int64 `json:"spool_quarantined"`
+}
+
+func (m *metrics) snapshot() Varz {
+	v := Varz{
+		Admitted:     m.admitted.Load(),
+		Shed:         m.shed.Load(),
+		Batches:      m.batches.Load(),
+		BatchRetries: m.batchRetries.Load(),
+		Served:       m.served.Load(),
+		Deadline:     m.deadline.Load(),
+		Cancelled:    m.cancelled.Load(),
+		QueueDepth:   m.queueDepth.Load(),
+		LaneFill:     make([]int64, len(m.laneFill)),
+		JobsStarted:  m.jobsStarted.Load(),
+		JobsResumed:  m.jobsResumed.Load(),
+		JobsDone:     m.jobsDone.Load(),
+		JobsFailed:   m.jobsFailed.Load(),
+		JobRetries:   m.jobRetries.Load(),
+		Rollbacks:    m.rollbacks.Load(),
+		SpoolWrites:  m.spoolWrites.Load(),
+		SpoolErrors:  m.spoolErrors.Load(),
+		SpoolBad:     m.spoolBad.Load(),
+	}
+	for i := range m.laneFill {
+		v.LaneFill[i] = m.laneFill[i].Load()
+	}
+	return v
+}
+
+func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.m.snapshot()) //nolint:errcheck // best-effort diagnostics
+}
